@@ -1,0 +1,78 @@
+// Shared helpers for the experiment harnesses in bench/: paper-style table
+// printing and environment-driven scaling so the full suite stays fast on
+// small machines.
+//
+// Environment variables:
+//   CROWDSKY_BENCH_RUNS   number of repetitions averaged per cell
+//                         (default 3; the paper uses 10)
+//   CROWDSKY_BENCH_SCALE  multiplier applied to cardinalities (default 1.0;
+//                         use 1.0 to reproduce the paper's 2K-10K sweep)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace crowdsky::bench {
+
+inline int Runs() {
+  if (const char* env = std::getenv("CROWDSKY_BENCH_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+inline double Scale() {
+  if (const char* env = std::getenv("CROWDSKY_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int Scaled(int cardinality) {
+  const double s = Scale();
+  const int v = static_cast<int>(cardinality * s);
+  return v < 2 ? 2 : v;
+}
+
+/// Fixed-width table printer for paper-style outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const std::string& h : headers_) {
+      std::printf("%*s", width_, h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void PrintCell(const std::string& value) const {
+    std::printf("%*s", width_, value.c_str());
+  }
+  void PrintCell(int64_t value) const {
+    std::printf("%*lld", width_, static_cast<long long>(value));
+  }
+  void PrintCell(double value, int precision = 3) const {
+    std::printf("%*.*f", width_, precision, value);
+  }
+  void EndRow() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace crowdsky::bench

@@ -1,0 +1,8 @@
+// Figure 6: number of questions over the independent distribution.
+#include "questions_sweep.h"
+
+int main() {
+  crowdsky::bench::QuestionsFigure("Figure 6",
+                                   crowdsky::DataDistribution::kIndependent);
+  return 0;
+}

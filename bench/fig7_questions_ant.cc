@@ -1,0 +1,8 @@
+// Figure 7: number of questions over the anti-correlated distribution.
+#include "questions_sweep.h"
+
+int main() {
+  crowdsky::bench::QuestionsFigure(
+      "Figure 7", crowdsky::DataDistribution::kAntiCorrelated);
+  return 0;
+}

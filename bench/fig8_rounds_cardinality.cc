@@ -1,0 +1,28 @@
+// Figure 8: number of rounds over varying cardinality (IND and ANT).
+#include "rounds_sweep.h"
+
+int main() {
+  using namespace crowdsky;        // NOLINT
+  using namespace crowdsky::bench; // NOLINT
+  std::printf("Figure 8: number of rounds over varying cardinality\n");
+  std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n", Runs(),
+              Scale());
+  for (const auto dist : {DataDistribution::kIndependent,
+                          DataDistribution::kAntiCorrelated}) {
+    std::vector<GeneratorOptions> settings;
+    std::vector<std::string> labels;
+    for (const int n : {2000, 4000, 6000, 8000, 10000}) {
+      GeneratorOptions opt;
+      opt.cardinality = Scaled(n);
+      opt.num_known = 4;
+      opt.num_crowd = 1;
+      settings.push_back(opt);
+      labels.push_back("n=" + std::to_string(opt.cardinality));
+    }
+    RoundsSweep(std::string("Figure 8(") +
+                    (dist == DataDistribution::kIndependent ? "a): IND"
+                                                            : "b): ANT"),
+                dist, settings, labels);
+  }
+  return 0;
+}

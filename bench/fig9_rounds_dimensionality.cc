@@ -1,0 +1,28 @@
+// Figure 9: number of rounds over varying |AK| (IND and ANT).
+#include "rounds_sweep.h"
+
+int main() {
+  using namespace crowdsky;        // NOLINT
+  using namespace crowdsky::bench; // NOLINT
+  std::printf("Figure 9: number of rounds over varying |AK|\n");
+  std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n", Runs(),
+              Scale());
+  for (const auto dist : {DataDistribution::kIndependent,
+                          DataDistribution::kAntiCorrelated}) {
+    std::vector<GeneratorOptions> settings;
+    std::vector<std::string> labels;
+    for (const int dk : {2, 3, 4, 5}) {
+      GeneratorOptions opt;
+      opt.cardinality = Scaled(4000);
+      opt.num_known = dk;
+      opt.num_crowd = 1;
+      settings.push_back(opt);
+      labels.push_back("|AK|=" + std::to_string(dk));
+    }
+    RoundsSweep(std::string("Figure 9(") +
+                    (dist == DataDistribution::kIndependent ? "a): IND"
+                                                            : "b): ANT"),
+                dist, settings, labels);
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// google-benchmark micro-benchmarks of the substrates: dominance tests,
+// machine skylines, dominance-structure construction, preference-graph
+// closure maintenance, and full algorithm runs at a fixed size.
+#include <benchmark/benchmark.h>
+
+#include "core/crowdsky.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset MakeData(int n, DataDistribution dist, int dk = 4, int mc = 1) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = dk;
+  opt.num_crowd = mc;
+  opt.distribution = dist;
+  opt.seed = 12345;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+void BM_DominanceCompare(benchmark::State& state) {
+  const Dataset ds =
+      MakeData(1000, DataDistribution::kIndependent,
+               static_cast<int>(state.range(0)), 0);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  int i = 0, j = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Compare(i, j));
+    i = (i + 1) % 1000;
+    j = (j + 7) % 1000;
+  }
+}
+BENCHMARK(BM_DominanceCompare)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SkylineBNL(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kAntiCorrelated, 4, 0);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkylineBNL(m));
+  }
+}
+BENCHMARK(BM_SkylineBNL)->Arg(1000)->Arg(4000);
+
+void BM_SkylineSFS(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kAntiCorrelated, 4, 0);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkylineSFS(m));
+  }
+}
+BENCHMARK(BM_SkylineSFS)->Arg(1000)->Arg(4000);
+
+void BM_DominanceStructureBuild(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kIndependent);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (auto _ : state) {
+    DominanceStructure s(m);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+BENCHMARK(BM_DominanceStructureBuild)->Arg(1000)->Arg(4000);
+
+void BM_PreferenceGraphChainInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PreferenceGraph g(n);
+    for (int i = 0; i + 1 < n; ++i) {
+      g.AddPreference(i, i + 1).CheckOK();
+    }
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_PreferenceGraphChainInsert)->Arg(256)->Arg(1024);
+
+void BM_PreferenceGraphReachability(benchmark::State& state) {
+  const int n = 2048;
+  PreferenceGraph g(n);
+  Rng rng(3);
+  for (int e = 0; e < 4 * n; ++e) {
+    const int u = static_cast<int>(rng.NextBounded(n));
+    const int v = static_cast<int>(rng.NextBounded(n));
+    if (u != v) g.AddPreference(u, v).CheckOK();
+  }
+  int u = 0, v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Prefers(u, v));
+    u = (u + 13) % n;
+    v = (v + 29) % n;
+  }
+}
+BENCHMARK(BM_PreferenceGraphReachability);
+
+void BM_FrequencyQuery(benchmark::State& state) {
+  const Dataset ds = MakeData(4000, DataDistribution::kIndependent);
+  const DominanceStructure s(PreferenceMatrix::FromKnown(ds));
+  int u = 0, v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Frequency(u, v));
+    u = (u + 17) % 4000;
+    v = (v + 31) % 4000;
+  }
+}
+BENCHMARK(BM_FrequencyQuery);
+
+void BM_CrowdSkyEndToEnd(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kIndependent);
+  const DominanceStructure structure(PreferenceMatrix::FromKnown(ds));
+  for (auto _ : state) {
+    PerfectOracle oracle(ds);
+    CrowdSession session(&oracle);
+    benchmark::DoNotOptimize(
+        RunCrowdSky(ds, structure, &session, {}).questions);
+  }
+}
+BENCHMARK(BM_CrowdSkyEndToEnd)->Arg(500)->Arg(2000);
+
+void BM_ParallelSLEndToEnd(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kIndependent);
+  const DominanceStructure structure(PreferenceMatrix::FromKnown(ds));
+  for (auto _ : state) {
+    PerfectOracle oracle(ds);
+    CrowdSession session(&oracle);
+    benchmark::DoNotOptimize(
+        RunParallelSL(ds, structure, &session, {}).questions);
+  }
+}
+BENCHMARK(BM_ParallelSLEndToEnd)->Arg(500)->Arg(2000);
+
+void BM_SimulatedCrowdAnswer(benchmark::State& state) {
+  const Dataset ds = MakeData(1000, DataDistribution::kIndependent);
+  WorkerModel worker;
+  SimulatedCrowd crowd(ds, worker, VotingPolicy::MakeStatic(5), 7);
+  int u = 0, v = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crowd.AnswerPair({0, u, v}, {}));
+    u = (u + 3) % 1000;
+    v = (v + 11) % 1000;
+    if (u == v) v = (v + 1) % 1000;
+  }
+}
+BENCHMARK(BM_SimulatedCrowdAnswer);
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,126 @@
+// Shared harness for Figures 6 and 7: number of questions for Baseline,
+// DSet, P1, P1+P2, P1+P2+P3 over (a) cardinality, (b) |AK|, (c) |AC|.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/crowdsky.h"
+
+namespace crowdsky::bench {
+
+struct MethodSpec {
+  std::string name;
+  bool baseline = false;
+  PruningConfig pruning;
+};
+
+inline std::vector<MethodSpec> QuestionMethods() {
+  return {
+      {"Baseline", true, {}},
+      {"DSet", false, PruningConfig::DSetOnly()},
+      {"P1", false, PruningConfig::P1()},
+      {"P1+P2", false, PruningConfig::P1P2()},
+      {"P1+P2+P3", false, PruningConfig::All()},
+  };
+}
+
+inline int64_t MeasureQuestions(const Dataset& ds,
+                                const DominanceStructure& structure,
+                                const MethodSpec& method) {
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  if (method.baseline) {
+    return RunBaselineSort(ds, &session).questions;
+  }
+  CrowdSkyOptions options;
+  options.pruning = method.pruning;
+  return RunCrowdSky(ds, structure, &session, options).questions;
+}
+
+/// Runs one sweep dimension and prints a paper-style series table.
+inline void QuestionsSweep(const std::string& title, DataDistribution dist,
+                           const std::vector<GeneratorOptions>& settings,
+                           const std::vector<std::string>& labels) {
+  Section(title);
+  const std::vector<MethodSpec> methods = QuestionMethods();
+  std::vector<std::string> headers = {"setting"};
+  for (const MethodSpec& m : methods) headers.push_back(m.name);
+  Table table(headers);
+  table.PrintHeader();
+  const int runs = Runs();
+  for (size_t i = 0; i < settings.size(); ++i) {
+    std::vector<double> sums(methods.size(), 0.0);
+    for (int run = 0; run < runs; ++run) {
+      GeneratorOptions opt = settings[i];
+      opt.distribution = dist;
+      opt.seed = 1000 + static_cast<uint64_t>(run) * 37;
+      const Dataset ds = GenerateDataset(opt).ValueOrDie();
+      const DominanceStructure structure(PreferenceMatrix::FromKnown(ds));
+      for (size_t m = 0; m < methods.size(); ++m) {
+        sums[m] += static_cast<double>(
+            MeasureQuestions(ds, structure, methods[m]));
+      }
+    }
+    table.PrintCell(labels[i]);
+    for (const double sum : sums) {
+      table.PrintCell(static_cast<int64_t>(sum / runs + 0.5));
+    }
+    table.EndRow();
+  }
+}
+
+/// All three panels of Figure 6/7 for one distribution.
+inline void QuestionsFigure(const char* figure, DataDistribution dist) {
+  std::printf("%s: number of questions over %s distribution\n", figure,
+              DataDistributionName(dist));
+  std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n",
+              Runs(), Scale());
+
+  {
+    std::vector<GeneratorOptions> settings;
+    std::vector<std::string> labels;
+    for (const int n : {2000, 4000, 6000, 8000, 10000}) {
+      GeneratorOptions opt;
+      opt.cardinality = Scaled(n);
+      opt.num_known = 4;
+      opt.num_crowd = 1;
+      settings.push_back(opt);
+      labels.push_back("n=" + std::to_string(opt.cardinality));
+    }
+    QuestionsSweep(std::string(figure) + "(a): varying cardinality", dist,
+                   settings, labels);
+  }
+  {
+    std::vector<GeneratorOptions> settings;
+    std::vector<std::string> labels;
+    for (const int dk : {2, 3, 4, 5}) {
+      GeneratorOptions opt;
+      opt.cardinality = Scaled(4000);
+      opt.num_known = dk;
+      opt.num_crowd = 1;
+      settings.push_back(opt);
+      labels.push_back("|AK|=" + std::to_string(dk));
+    }
+    QuestionsSweep(std::string(figure) + "(b): varying |AK|", dist,
+                   settings, labels);
+  }
+  {
+    std::vector<GeneratorOptions> settings;
+    std::vector<std::string> labels;
+    for (const int mc : {1, 2, 3}) {
+      GeneratorOptions opt;
+      opt.cardinality = Scaled(4000);
+      opt.num_known = 4;
+      opt.num_crowd = mc;
+      settings.push_back(opt);
+      labels.push_back("|AC|=" + std::to_string(mc));
+    }
+    QuestionsSweep(std::string(figure) + "(c): varying |AC|", dist,
+                   settings, labels);
+  }
+}
+
+}  // namespace crowdsky::bench

@@ -1,0 +1,66 @@
+// Shared harness for Figures 8 and 9: number of rounds for Baseline,
+// Serial, ParallelDSet and ParallelSL.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/crowdsky.h"
+
+namespace crowdsky::bench {
+
+inline void RoundsSweep(const std::string& title, DataDistribution dist,
+                        const std::vector<GeneratorOptions>& settings,
+                        const std::vector<std::string>& labels) {
+  Section(title);
+  const std::vector<std::string> methods = {"Baseline", "Serial",
+                                            "ParallelDSet", "ParallelSL"};
+  std::vector<std::string> headers = {"setting"};
+  for (const auto& m : methods) headers.push_back(m);
+  Table table(headers);
+  table.PrintHeader();
+  const int runs = Runs();
+  for (size_t i = 0; i < settings.size(); ++i) {
+    std::vector<double> sums(methods.size(), 0.0);
+    for (int run = 0; run < runs; ++run) {
+      GeneratorOptions opt = settings[i];
+      opt.distribution = dist;
+      opt.seed = 2000 + static_cast<uint64_t>(run) * 41;
+      const Dataset ds = GenerateDataset(opt).ValueOrDie();
+      const DominanceStructure structure(PreferenceMatrix::FromKnown(ds));
+      {
+        PerfectOracle oracle(ds);
+        CrowdSession session(&oracle);
+        sums[0] +=
+            static_cast<double>(RunBaselineSort(ds, &session).rounds);
+      }
+      {
+        PerfectOracle oracle(ds);
+        CrowdSession session(&oracle);
+        sums[1] += static_cast<double>(
+            RunCrowdSky(ds, structure, &session, {}).rounds);
+      }
+      {
+        PerfectOracle oracle(ds);
+        CrowdSession session(&oracle);
+        sums[2] += static_cast<double>(
+            RunParallelDSet(ds, structure, &session, {}).rounds);
+      }
+      {
+        PerfectOracle oracle(ds);
+        CrowdSession session(&oracle);
+        sums[3] += static_cast<double>(
+            RunParallelSL(ds, structure, &session, {}).rounds);
+      }
+    }
+    table.PrintCell(labels[i]);
+    for (const double sum : sums) {
+      table.PrintCell(static_cast<int64_t>(sum / runs + 0.5));
+    }
+    table.EndRow();
+  }
+}
+
+}  // namespace crowdsky::bench

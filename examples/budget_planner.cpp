@@ -1,0 +1,59 @@
+// Budget planner: before launching a crowdsourcing campaign, estimate what
+// each algorithm will cost and how long it will take on data that looks
+// like yours — by simulating the campaign on synthetic data with matching
+// shape (cardinality, dimensions, distribution).
+#include <cstdio>
+#include <string>
+
+#include "core/crowdsky.h"
+
+using namespace crowdsky;  // NOLINT
+
+namespace {
+
+void Plan(const char* scenario, DataDistribution dist, int cardinality,
+          int num_known, double seconds_per_round) {
+  GeneratorOptions gen;
+  gen.cardinality = cardinality;
+  gen.num_known = num_known;
+  gen.num_crowd = 1;
+  gen.distribution = dist;
+  gen.seed = 99;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+
+  std::printf("\n--- %s (n=%d, |AK|=%d, %s) ---\n", scenario, cardinality,
+              num_known, DataDistributionName(dist));
+  std::printf("%-14s %10s %8s %9s %12s\n", "algorithm", "questions",
+              "rounds", "cost($)", "est. hours");
+  for (const Algorithm algo :
+       {Algorithm::kBaselineSort, Algorithm::kCrowdSkySerial,
+        Algorithm::kParallelDSet, Algorithm::kParallelSL}) {
+    EngineOptions options;
+    options.algorithm = algo;
+    options.oracle = OracleKind::kPerfect;  // planning: count, don't err
+    const auto r = RunSkylineQuery(ds, options);
+    r.status().CheckOK();
+    std::printf("%-14s %10lld %8lld %9.2f %12.1f\n", AlgorithmName(algo),
+                static_cast<long long>(r->algo.questions),
+                static_cast<long long>(r->algo.rounds), r->cost_usd,
+                static_cast<double>(r->algo.rounds) * seconds_per_round /
+                    3600.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Campaign planning: simulated question/round/cost estimates.\n"
+      "Assuming one crowd round takes ~60 seconds (a HIT batch on AMT).\n");
+  Plan("Product catalog triage", DataDistribution::kIndependent, 2000, 4,
+       60);
+  Plan("Conflicting-criteria shortlist", DataDistribution::kAntiCorrelated,
+       1000, 2, 60);
+  Plan("Small expert review", DataDistribution::kIndependent, 200, 3, 90);
+  std::printf(
+      "\nTakeaway: ParallelSL turns campaigns from days (Baseline) into "
+      "minutes, at the lowest cost.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Marketplace campaign: running a skyline query against a realistic
+// platform simulation — a persistent worker pool with heterogeneous
+// reliability and spammers — and what "Masters-only" qualification (the
+// paper's Section 6.2 setup) buys you.
+#include <cstdio>
+
+#include "core/crowdsky.h"
+
+using namespace crowdsky;  // NOLINT
+
+namespace {
+
+void RunCampaign(const char* title, const Dataset& ds,
+                 const MarketplaceOptions& market) {
+  EngineOptions options;
+  options.algorithm = Algorithm::kParallelSL;
+  options.oracle = OracleKind::kMarketplace;
+  options.marketplace = market;
+  options.workers_per_question = 5;
+  options.seed = 99;
+  const auto r = RunSkylineQuery(ds, options);
+  r.status().CheckOK();
+  std::printf("%-28s precision %.2f  recall %.2f  cost $%.2f  rounds %lld\n",
+              title, r->accuracy.precision, r->accuracy.recall, r->cost_usd,
+              static_cast<long long>(r->algo.rounds));
+}
+
+}  // namespace
+
+int main() {
+  const Dataset movies = MakeMoviesDataset();
+  std::printf(
+      "Q2 (movie skyline) on a simulated marketplace of 300 workers:\n"
+      "mean reliability 0.82 (sd 0.12), 20%% spammers.\n\n");
+
+  MarketplaceOptions open_pool;
+  open_pool.pool_size = 300;
+  open_pool.population.p_correct = 0.82;
+  open_pool.population.p_stddev = 0.12;
+  open_pool.population.spammer_fraction = 0.2;
+
+  MarketplaceOptions masters = open_pool;
+  masters.gold_questions = 50;           // qualification test length
+  masters.qualification_threshold = 0.8; // "Masters" bar
+
+  RunCampaign("open pool:", movies, open_pool);
+  RunCampaign("Masters qualification:", movies, masters);
+
+  // Show what qualification did to the pool itself.
+  CrowdMarketplace pool(movies, masters, VotingPolicy::MakeStatic(5));
+  std::printf(
+      "\nQualification admitted %d of %d workers; qualified-pool mean "
+      "reliability %.3f.\n",
+      pool.qualified_count(), pool.pool_size(),
+      pool.QualifiedPoolReliability());
+  std::printf(
+      "This is why the paper restricted its AMT experiments to Masters "
+      "workers.\n");
+  return 0;
+}

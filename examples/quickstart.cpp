@@ -1,0 +1,70 @@
+// Quickstart: the motivating example of the paper's introduction.
+//
+// Alice wants the skyline of movies by (box_office MAX, romantic MAX), but
+// "how romantic is this movie?" is not in the database — only humans can
+// judge it. CrowdSky asks the (simulated) crowd pair-wise questions and
+// returns the complete skyline while paying for as few questions as
+// possible.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/crowdsky.h"
+
+using namespace crowdsky;  // NOLINT
+
+int main() {
+  // 1. Declare the schema: one known attribute and one crowd attribute.
+  auto schema = Schema::Make({
+      {"box_office", Direction::kMax, AttributeKind::kKnown},
+      {"romantic", Direction::kMax, AttributeKind::kCrowd},
+  });
+  schema.status().CheckOK();
+
+  // 2. The relation. The `romantic` column is the hidden ground truth the
+  //    simulated crowd answers from — a real deployment would replace
+  //    SimulatedCrowd with an adapter to a crowdsourcing platform.
+  auto data = Dataset::Make(
+      std::move(schema).ValueOrDie(),
+      {
+          {2788, 2.0},  // Avatar: huge gross, not very romantic
+          {836, 6.0},   // Inception
+          {658, 9.5},   // Titanic-ish romance: modest gross, very romantic
+          {120, 9.0},   // indie romance
+          {90, 3.0},    // low gross, not romantic: hopeless
+          {1519, 4.0},  // The Avengers
+          {400, 8.0},   // romantic comedy
+      },
+      {"Avatar", "Inception", "The Notebook", "Before Sunrise",
+       "Sharknado", "The Avengers", "Crazy Rich Asians"});
+  data.status().CheckOK();
+  const Dataset movies = std::move(data).ValueOrDie();
+
+  // 3. Configure the engine: ParallelSL (lowest latency), a crowd of
+  //    80%-reliable workers, 5-worker majority voting.
+  EngineOptions options;
+  options.algorithm = Algorithm::kParallelSL;
+  options.worker.p_correct = 0.8;
+  options.workers_per_question = 5;
+  options.seed = 7;
+
+  const Result<EngineResult> result = RunSkylineQuery(movies, options);
+  result.status().CheckOK();
+
+  std::printf("Crowdsourced skyline (most popular x most romantic):\n");
+  for (const std::string& label : result->skyline_labels) {
+    std::printf("  * %s\n", label.c_str());
+  }
+  std::printf(
+      "\nCrowd effort: %lld questions in %lld rounds, %lld worker answers, "
+      "$%.2f\n",
+      static_cast<long long>(result->algo.questions),
+      static_cast<long long>(result->algo.rounds),
+      static_cast<long long>(result->algo.worker_answers),
+      result->cost_usd);
+  std::printf("Accuracy vs ground truth: precision %.2f, recall %.2f\n",
+              result->accuracy.precision, result->accuracy.recall);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Rectangle audit: the paper's Q1, the one query with exact ground truth.
+// Demonstrates how crowd reliability and voting interact: we sweep the
+// per-worker accuracy p and report skyline precision/recall with single
+// workers vs 5-worker majority voting.
+#include <cstdio>
+
+#include "core/crowdsky.h"
+
+using namespace crowdsky;  // NOLINT
+
+namespace {
+
+AccuracyMetrics RunOnce(const Dataset& ds, double p, int workers,
+                        uint64_t seed) {
+  EngineOptions options;
+  options.algorithm = Algorithm::kCrowdSkySerial;
+  options.worker.p_correct = p;
+  options.workers_per_question = workers;
+  options.seed = seed;
+  const auto r = RunSkylineQuery(ds, options);
+  r.status().CheckOK();
+  return r->accuracy;
+}
+
+}  // namespace
+
+int main() {
+  const Dataset rects = MakeRectanglesDataset();
+  std::printf(
+      "Q1: 50 randomly rotated rectangles; machine sees the rotated "
+      "bounding box,\nthe crowd compares true areas. Exact ground truth "
+      "exists, so accuracy is measurable.\n\n");
+
+  std::printf("%8s %14s %14s %14s %14s\n", "p", "F1 (1 worker)",
+              "F1 (5 voted)", "P (5 voted)", "R (5 voted)");
+  const int kRuns = 5;
+  for (const double p : {0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    double f1_single = 0, f1_voted = 0, prec = 0, rec = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      const uint64_t seed = 100 + static_cast<uint64_t>(run);
+      f1_single += RunOnce(rects, p, 1, seed).f1;
+      const AccuracyMetrics voted = RunOnce(rects, p, 5, seed);
+      f1_voted += voted.f1;
+      prec += voted.precision;
+      rec += voted.recall;
+    }
+    std::printf("%8.2f %14.3f %14.3f %14.3f %14.3f\n", p,
+                f1_single / kRuns, f1_voted / kRuns, prec / kRuns,
+                rec / kRuns);
+  }
+  std::printf(
+      "\nWith reliable (Masters-grade) workers and voting, precision and "
+      "recall reach 1.0 —\nthe paper's Q1 result.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "algo/baseline_sort.h"
+
+#include <algorithm>
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+namespace {
+
+constexpr int kSentinel = -1;
+
+/// Crowd-backed "is u preferred over v" with a deterministic tie-break so
+/// the sort is a strict total order. Sentinels lose to everything.
+class CrowdLess {
+ public:
+  CrowdLess(CrowdSession* session, int attr) : session_(session), attr_(attr) {}
+
+  bool operator()(int u, int v) {
+    if (u == kSentinel) return false;
+    if (v == kSentinel) return true;
+    const Answer a = session_->Ask(attr_, u, v);
+    if (a == Answer::kFirstPreferred) return true;
+    if (a == Answer::kSecondPreferred) return false;
+    return u < v;  // equal: ids break the tie
+  }
+
+  /// True iff comparing u and v would contact the crowd.
+  bool WouldPay(int u, int v) const {
+    if (u == kSentinel || v == kSentinel) return false;
+    return !session_->IsCached(attr_, u, v);
+  }
+
+ private:
+  CrowdSession* session_;
+  int attr_;
+};
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Tournament sort of ids on one crowd attribute; returns the ids most
+/// preferred first. Rounds: one per tree level during the build (matches
+/// within a level are independent), then one per paid match during the
+/// replays (a replay path is a chain of dependent matches).
+std::vector<int> TournamentSort(const std::vector<int>& ids,
+                                CrowdSession* session, int attr) {
+  std::vector<int> result;
+  if (ids.empty()) return result;
+  if (ids.size() == 1) return ids;
+  CrowdLess less(session, attr);
+  const size_t leaves = NextPow2(ids.size());
+  // Heap-like array: nodes[1] is the root, leaves at [leaves, 2*leaves).
+  std::vector<int> nodes(2 * leaves, kSentinel);
+  for (size_t i = 0; i < ids.size(); ++i) nodes[leaves + i] = ids[i];
+  // Build, level by level (each level is one parallel round).
+  for (size_t node = leaves - 1; node >= 1; --node) {
+    const int a = nodes[2 * node];
+    const int b = nodes[2 * node + 1];
+    nodes[node] = (b == kSentinel || (a != kSentinel && less(a, b))) ? a : b;
+    // Close the round at each level boundary (node counts per level are
+    // powers of two; level ends when node is a power of two).
+    if ((node & (node - 1)) == 0) session->EndRound();
+  }
+  std::vector<size_t> leaf_of(
+      static_cast<size_t>(*std::max_element(ids.begin(), ids.end())) + 1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    leaf_of[static_cast<size_t>(ids[i])] = leaves + i;
+  }
+  result.reserve(ids.size());
+  for (size_t extracted = 0; extracted < ids.size(); ++extracted) {
+    const int winner = nodes[1];
+    CROWDSKY_CHECK(winner != kSentinel);
+    result.push_back(winner);
+    // Remove the winner and replay its path to the root; each match in the
+    // chain depends on the previous one, so each paid match is a round.
+    size_t node = leaf_of[static_cast<size_t>(winner)];
+    nodes[node] = kSentinel;
+    while (node > 1) {
+      node /= 2;
+      const int a = nodes[2 * node];
+      const int b = nodes[2 * node + 1];
+      const bool paid = less.WouldPay(a, b);
+      nodes[node] =
+          (b == kSentinel || (a != kSentinel && less(a, b))) ? a : b;
+      if (paid) session->EndRound();
+    }
+  }
+  return result;
+}
+
+/// Bitonic sorting network; every (k, j) stage is one parallel round.
+std::vector<int> BitonicSort(const std::vector<int>& ids,
+                             CrowdSession* session, int attr) {
+  if (ids.size() <= 1) return ids;
+  CrowdLess less(session, attr);
+  const size_t m = NextPow2(ids.size());
+  std::vector<int> a(m, kSentinel);
+  std::copy(ids.begin(), ids.end(), a.begin());
+  for (size_t k = 2; k <= m; k <<= 1) {
+    for (size_t j = k >> 1; j > 0; j >>= 1) {
+      for (size_t i = 0; i < m; ++i) {
+        const size_t l = i ^ j;
+        if (l <= i) continue;
+        const bool ascending = (i & k) == 0;
+        // "Smaller" = more preferred; sentinels sort last.
+        const bool in_order =
+            a[i] == a[l] ? true
+                         : (less(a[i], a[l]) ? true : false);
+        if (in_order != ascending) std::swap(a[i], a[l]);
+      }
+      session->EndRound();  // all comparators of a stage are independent
+    }
+  }
+  a.resize(ids.size());
+  return a;
+}
+
+template <typename SortFn>
+BaselineResult RunSortBaseline(const Dataset& dataset, CrowdSession* session,
+                               SortFn sort_fn) {
+  BaselineResult result;
+  const int n = dataset.size();
+  const int m = dataset.schema().num_crowd();
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  for (int attr = 0; attr < m; ++attr) {
+    result.orders.push_back(sort_fn(ids, session, attr));
+  }
+  session->EndRound();
+  result.skyline = internal::SkylineFromOrders(dataset, result.orders);
+  result.questions = session->stats().questions;
+  result.rounds = session->stats().rounds;
+  result.free_lookups = session->stats().cache_hits;
+  result.worker_answers = session->oracle_stats().worker_answers;
+  result.questions_per_round = session->questions_per_round();
+  return result;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<int> SkylineFromOrders(
+    const Dataset& dataset, const std::vector<std::vector<int>>& orders) {
+  const PreferenceMatrix known = PreferenceMatrix::FromKnown(dataset);
+  const int n = dataset.size();
+  const int dk = known.dims();
+  const int m = static_cast<int>(orders.size());
+  std::vector<double> values(static_cast<size_t>(n) *
+                             static_cast<size_t>(dk + m));
+  for (int id = 0; id < n; ++id) {
+    double* row =
+        values.data() + static_cast<size_t>(id) * static_cast<size_t>(dk + m);
+    for (int k = 0; k < dk; ++k) row[k] = known.value(id, k);
+  }
+  for (int j = 0; j < m; ++j) {
+    const std::vector<int>& order = orders[static_cast<size_t>(j)];
+    CROWDSKY_CHECK(static_cast<int>(order.size()) == n);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      double* row = values.data() +
+                    static_cast<size_t>(order[rank]) *
+                        static_cast<size_t>(dk + m);
+      row[dk + j] = static_cast<double>(rank);
+    }
+  }
+  return ComputeSkylineSFS(
+      PreferenceMatrix::FromRaw(n, dk + m, std::move(values)));
+}
+
+}  // namespace internal
+
+BaselineResult RunBaselineSort(const Dataset& dataset,
+                               CrowdSession* session) {
+  return RunSortBaseline(dataset, session, TournamentSort);
+}
+
+BaselineResult RunBitonicBaseline(const Dataset& dataset,
+                                  CrowdSession* session) {
+  return RunSortBaseline(dataset, session, BitonicSort);
+}
+
+}  // namespace crowdsky

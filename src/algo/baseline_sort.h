@@ -1,0 +1,42 @@
+// Sort-based baselines (Section 3's Baseline): obtain a *total order* of
+// the tuples on each crowd attribute with a crowd-powered sorting network,
+// then compute the skyline machine-side over AK plus the ranks.
+//
+//  * Tournament sort (the paper's Baseline): asks the minimum number of
+//    questions a sort needs, but its question chain is long — replay paths
+//    after each extraction are sequential — so it also serves as the
+//    high-latency upper bound in Figures 8-9 and 12(b).
+//  * Bitonic sort (mentioned as the alternative in Section 3): asks more
+//    questions but every stage is fully parallel, giving O(log^2 n) rounds
+//    — a useful extra point in the cost/latency trade-off space.
+#pragma once
+
+#include "algo/run_result.h"
+#include "crowd/session.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Result of a sort-based baseline: the AlgoResult plus, per crowd
+/// attribute, the crowd-derived total order (most preferred first).
+struct BaselineResult : AlgoResult {
+  std::vector<std::vector<int>> orders;
+};
+
+/// Tournament-sort baseline.
+BaselineResult RunBaselineSort(const Dataset& dataset,
+                               CrowdSession* session);
+
+/// Bitonic-network baseline (extension).
+BaselineResult RunBitonicBaseline(const Dataset& dataset,
+                                  CrowdSession* session);
+
+namespace internal {
+
+/// Machine-side skyline of AK joined with per-attribute crowd ranks
+/// (rank 0 = most preferred).
+std::vector<int> SkylineFromOrders(const Dataset& dataset,
+                                   const std::vector<std::vector<int>>& orders);
+
+}  // namespace internal
+}  // namespace crowdsky

@@ -1,0 +1,190 @@
+#include "algo/crowdsky_algorithm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace crowdsky {
+namespace internal {
+
+void ResolveKnownTies(const Dataset& dataset, CrowdKnowledge* knowledge,
+                      CrowdSession* session, CompletionState* completion,
+                      bool parallel_rounds) {
+  const PreferenceMatrix known = PreferenceMatrix::FromKnown(dataset);
+  // Group tuples by identical known rows.
+  std::map<std::vector<double>, std::vector<int>> groups;
+  for (int id = 0; id < known.size(); ++id) {
+    std::vector<double> key(known.row(id), known.row(id) + known.dims());
+    groups[std::move(key)].push_back(id);
+  }
+  // Within each group, run a crowd-side BNL in AC: a member is eliminated
+  // iff another member is strictly preferred within AC (equal known values
+  // mean equal tuples stay incomparable and both survive).
+  struct GroupState {
+    std::vector<int> pending;
+    std::vector<int> survivors;
+  };
+  std::vector<GroupState> states;
+  for (auto& [key, ids] : groups) {
+    if (ids.size() < 2) continue;
+    GroupState gs;
+    gs.survivors.push_back(ids[0]);
+    gs.pending.assign(ids.begin() + 1, ids.end());
+    states.push_back(std::move(gs));
+  }
+  // Round-robin across groups so independent groups can share rounds.
+  bool active = !states.empty();
+  while (active) {
+    active = false;
+    for (GroupState& gs : states) {
+      if (gs.pending.empty()) continue;
+      active = true;
+      const int c = gs.pending.front();
+      gs.pending.erase(gs.pending.begin());
+      bool c_eliminated = false;
+      bool paid_this_round = false;
+      std::vector<int> next_survivors;
+      next_survivors.reserve(gs.survivors.size() + 1);
+      for (size_t i = 0; i < gs.survivors.size(); ++i) {
+        const int s = gs.survivors[i];
+        if (c_eliminated) {
+          next_survivors.push_back(s);  // c is out; keep the rest as-is
+          continue;
+        }
+        AcRelation r = knowledge->Relation(s, c);
+        if (r == AcRelation::kUnknown) {
+          for (int attr = 0; attr < knowledge->num_attrs(); ++attr) {
+            if (knowledge->graph(attr).Comparable(s, c)) continue;
+            const bool cached = session->IsCached(attr, s, c);
+            if (!cached && !session->CanAsk()) {
+              break;  // budget exhausted: leave the pair unresolved
+            }
+            const Answer a = session->Ask(attr, s, c);
+            knowledge->Record(attr, s, c, a).CheckOK();
+            if (!cached) paid_this_round = true;
+          }
+          r = knowledge->Relation(s, c);
+        }
+        if (r == AcRelation::kPrefers) {
+          c_eliminated = true;
+          next_survivors.push_back(s);
+        } else if (r == AcRelation::kPreferredBy) {
+          completion->MarkNonSkyline(s);  // drop s
+        } else {
+          next_survivors.push_back(s);
+        }
+      }
+      gs.survivors = std::move(next_survivors);
+      if (c_eliminated) {
+        completion->MarkNonSkyline(c);
+      } else {
+        gs.survivors.push_back(c);
+      }
+      if (!parallel_rounds && paid_this_round) session->EndRound();
+    }
+    if (parallel_rounds) session->EndRound();
+  }
+  session->EndRound();
+}
+
+int64_t SeedKnownCrowdValues(const Dataset& dataset,
+                             const CrowdSkyOptions& options,
+                             CrowdKnowledge* knowledge) {
+  if (options.known_crowd_values == nullptr) return 0;
+  const std::vector<DynamicBitset>& masks = *options.known_crowd_values;
+  CROWDSKY_CHECK_MSG(
+      static_cast<int>(masks.size()) == dataset.schema().num_crowd(),
+      "known_crowd_values needs one bitset per crowd attribute");
+  const PreferenceMatrix crowd = PreferenceMatrix::FromCrowd(dataset);
+  int64_t seeded = 0;
+  for (int attr = 0; attr < knowledge->num_attrs(); ++attr) {
+    const DynamicBitset& mask = masks[static_cast<size_t>(attr)];
+    CROWDSKY_CHECK_MSG(mask.size() == static_cast<size_t>(dataset.size()),
+                       "known_crowd_values bitset has the wrong size");
+    std::vector<int> known = mask.ToVector();
+    if (known.size() < 2) continue;
+    // The known values induce a total order; seeding the sorted chain is
+    // enough — the closure supplies every other pair transitively.
+    std::sort(known.begin(), known.end(), [&crowd, attr](int a, int b) {
+      return crowd.value(a, attr) < crowd.value(b, attr);
+    });
+    for (size_t i = 1; i < known.size(); ++i) {
+      const int prev = known[i - 1];
+      const int cur = known[i];
+      const Answer answer = crowd.value(prev, attr) < crowd.value(cur, attr)
+                                ? Answer::kFirstPreferred
+                                : Answer::kEqual;
+      knowledge->Record(attr, prev, cur, answer).CheckOK();
+      ++seeded;
+    }
+  }
+  return seeded;
+}
+
+void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
+               int64_t free_lookups, AlgoResult* result) {
+  result->questions =
+      session.stats().questions + session.stats().unary_questions;
+  result->rounds = session.stats().rounds;
+  result->free_lookups = free_lookups + session.stats().cache_hits;
+  result->worker_answers = session.oracle_stats().worker_answers;
+  result->contradictions = knowledge.contradiction_count();
+  result->questions_per_round = session.questions_per_round();
+}
+
+}  // namespace internal
+
+AlgoResult RunCrowdSky(const Dataset& dataset,
+                       const DominanceStructure& structure,
+                       CrowdSession* session,
+                       const CrowdSkyOptions& options) {
+  const int n = dataset.size();
+  CrowdKnowledge knowledge(n, dataset.schema().num_crowd(),
+                           options.contradiction_policy);
+  CompletionState completion(n);
+  AlgoResult result;
+  result.seeded_relations =
+      internal::SeedKnownCrowdValues(dataset, options, &knowledge);
+  internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
+                             /*parallel_rounds=*/false);
+
+  int64_t free_lookups = 0;
+
+  // SKY_AK(R) members are complete from the start; those eliminated by the
+  // tie pre-pass are complete non-skyline tuples instead.
+  for (const int t : structure.known_skyline()) {
+    if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
+      completion.MarkSkyline(t);
+      result.skyline.push_back(t);
+    }
+  }
+
+  // Evaluate remaining tuples in ascending |DS(t)| order (line 7).
+  for (const int t : structure.evaluation_order()) {
+    if (completion.complete.Test(static_cast<size_t>(t))) continue;
+    TupleEvaluator evaluator(t, structure, &knowledge, session, &completion,
+                             options);
+    while (!evaluator.done()) {
+      if (evaluator.Step()) session->EndRound();
+    }
+    free_lookups += evaluator.free_lookups();
+    if (!evaluator.complete()) ++result.incomplete_tuples;
+    if (evaluator.is_skyline()) {
+      completion.MarkSkyline(t);
+      result.skyline.push_back(t);
+    } else {
+      completion.MarkNonSkyline(t);
+    }
+  }
+
+  std::sort(result.skyline.begin(), result.skyline.end());
+  internal::FillStats(*session, knowledge, free_lookups, &result);
+  return result;
+}
+
+AlgoResult RunCrowdSky(const Dataset& dataset, CrowdSession* session,
+                       const CrowdSkyOptions& options) {
+  const DominanceStructure structure(PreferenceMatrix::FromKnown(dataset));
+  return RunCrowdSky(dataset, structure, session, options);
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,122 @@
+// TupleEvaluator: Algorithm 1's per-tuple inner loop (lines 9-26) as a
+// resumable state machine, shared by the Serial, ParallelDSet and
+// ParallelSL drivers — the three only differ in *which* evaluators may pay
+// for a question in the same crowd round (Section 4).
+//
+// Lifecycle per tuple t:
+//   1. start from DS(t);
+//   2. refresh: P1 drops complete non-skyline dominators, P2 reduces DS(t)
+//      to SKY_AC(DS(t)) using the preference tree;
+//   3. P3 probes DS(t) pair-by-pair in descending freq(u, v), removing the
+//      AC-dominated endpoint of each resolved pair;
+//   4. Q(t): ask (s, t) for the surviving dominators until one weakly
+//      precedes t in AC (t is a complete non-skyline tuple) or none is
+//      left (t is a complete skyline tuple).
+// Every relation already implied by the preference tree (transitivity) or
+// by the session cache is consumed for free. With |AC| > 1 the evaluator
+// either asks all attribute questions of a pair at once or round-robins
+// them with early exits (MultiAttributeStrategy). When the session's
+// question budget runs out the evaluator finalizes the tuple in its
+// current (possibly incomplete) state: in the skyline unless already
+// proven dominated.
+#pragma once
+
+#include <vector>
+
+#include "algo/crowd_knowledge.h"
+#include "algo/run_result.h"
+#include "common/bitset.h"
+#include "crowd/session.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+
+/// Completion knowledge shared by all evaluators of one run
+/// (Definition 4's complete-tuple sets).
+struct CompletionState {
+  explicit CompletionState(int n)
+      : complete(static_cast<size_t>(n)),
+        nonskyline(static_cast<size_t>(n)) {}
+
+  DynamicBitset complete;    ///< complete tuples (skyline fate decided)
+  DynamicBitset nonskyline;  ///< complete non-skyline tuples
+
+  void MarkSkyline(int t) { complete.Set(static_cast<size_t>(t)); }
+  void MarkNonSkyline(int t) {
+    complete.Set(static_cast<size_t>(t));
+    nonskyline.Set(static_cast<size_t>(t));
+  }
+};
+
+/// \brief Resumable evaluation of one tuple's skyline membership.
+class TupleEvaluator {
+ public:
+  TupleEvaluator(int tuple, const DominanceStructure& structure,
+                 CrowdKnowledge* knowledge, CrowdSession* session,
+                 const CompletionState* completion,
+                 const CrowdSkyOptions& options);
+
+  /// Performs all currently-free work, then either pays for exactly one
+  /// pair-ask (returns true) or completes the tuple (returns false and
+  /// done() becomes true). A return of false with done() == false cannot
+  /// happen.
+  bool Step();
+
+  bool done() const { return phase_ == Phase::kDone; }
+  /// Valid once done(): is the tuple in the skyline? Budget-aborted
+  /// tuples count as skyline unless already proven dominated.
+  bool is_skyline() const {
+    CROWDSKY_DCHECK(done());
+    return is_skyline_;
+  }
+  /// Valid once done(): false iff the question budget ran out before the
+  /// tuple became complete in the Definition-4 sense.
+  bool complete() const {
+    CROWDSKY_DCHECK(done());
+    return !budget_aborted_;
+  }
+  int tuple() const { return t_; }
+  /// Relations resolved without paying (cache hits + transitivity).
+  int64_t free_lookups() const { return free_lookups_; }
+
+ private:
+  enum class Phase { kInit, kProbe, kQuery, kDone };
+  struct ProbePair {
+    int u;
+    int v;
+    size_t freq;
+  };
+  enum class AskMode { kProbe, kQuery };
+
+  /// P1 + P2 refresh of the current dominating-set members.
+  void Refresh();
+  void BuildProbePairs();
+  /// Asks crowd-attribute questions for (u, v) per the multi-attribute
+  /// strategy; records answers; sets budget_aborted_ when the session's
+  /// budget runs out mid-pair. Returns true iff any question was paid for.
+  bool AskPair(int u, int v, size_t freq, AskMode mode);
+  void Finalize(bool is_skyline);
+  std::vector<int> Members() const { return ds_.ToVector(); }
+
+  int t_;
+  const DominanceStructure& structure_;
+  CrowdKnowledge* knowledge_;
+  CrowdSession* session_;
+  const CompletionState* completion_;
+  PruningConfig pruning_;
+  MultiAttributeStrategy multi_attr_;
+
+  Phase phase_ = Phase::kInit;
+  DynamicBitset ds_;
+  std::vector<ProbePair> probe_pairs_;
+  size_t probe_idx_ = 0;
+  bool is_skyline_ = false;
+  /// Set when t is found dominated while P1's early break is disabled
+  /// (Example 3 counts every question in Q(t) even after t's fate is
+  /// decided).
+  bool dominated_ = false;
+  bool budget_aborted_ = false;
+  int64_t free_lookups_ = 0;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,24 @@
+// ParallelDSet (Section 4.1): partitions R into groups of equal |DS(t)|
+// (tuples in the same group cannot dominate each other, Lemma 3), then
+// splits each group into sub-batches whose dominating sets are pairwise
+// disjoint — removing dependency (C2) — and runs each sub-batch's
+// evaluators in lockstep rounds. Question counts match the serial
+// algorithm; only the round count shrinks.
+#pragma once
+
+#include "algo/run_result.h"
+#include "crowd/session.h"
+#include "data/dataset.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+
+AlgoResult RunParallelDSet(const Dataset& dataset,
+                           const DominanceStructure& structure,
+                           CrowdSession* session,
+                           const CrowdSkyOptions& options = {});
+
+AlgoResult RunParallelDSet(const Dataset& dataset, CrowdSession* session,
+                           const CrowdSkyOptions& options = {});
+
+}  // namespace crowdsky

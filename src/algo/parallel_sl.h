@@ -1,0 +1,26 @@
+// ParallelSL (Algorithm 2, Section 4.2): parallelization with skyline
+// layers. A tuple's questions may start as soon as all its *direct*
+// AK-dominators c(t) are complete — which transitively implies all of
+// DS(t) is complete — so in every crowd round all ready tuples advance by
+// one question simultaneously. Dependency (C2) is deliberately violated
+// (overlapping dominating sets may probe redundantly), trading a few
+// additional questions (~10% in the paper) for rounds that drop by up to
+// two orders of magnitude.
+#pragma once
+
+#include "algo/run_result.h"
+#include "crowd/session.h"
+#include "data/dataset.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+
+AlgoResult RunParallelSL(const Dataset& dataset,
+                         const DominanceStructure& structure,
+                         CrowdSession* session,
+                         const CrowdSkyOptions& options = {});
+
+AlgoResult RunParallelSL(const Dataset& dataset, CrowdSession* session,
+                         const CrowdSkyOptions& options = {});
+
+}  // namespace crowdsky

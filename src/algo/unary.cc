@@ -1,0 +1,40 @@
+#include "algo/unary.h"
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+
+UnaryResult RunUnary(const Dataset& dataset, CrowdSession* session) {
+  UnaryResult result;
+  const int n = dataset.size();
+  const int m = dataset.schema().num_crowd();
+  const PreferenceMatrix known = PreferenceMatrix::FromKnown(dataset);
+  const int dk = known.dims();
+
+  result.estimates.resize(static_cast<size_t>(n) * static_cast<size_t>(m));
+  std::vector<double> values(static_cast<size_t>(n) *
+                             static_cast<size_t>(dk + m));
+  for (int id = 0; id < n; ++id) {
+    double* row =
+        values.data() + static_cast<size_t>(id) * static_cast<size_t>(dk + m);
+    for (int k = 0; k < dk; ++k) row[k] = known.value(id, k);
+    for (int j = 0; j < m; ++j) {
+      const double est = session->AskUnary(id, j);
+      result.estimates[static_cast<size_t>(id) * static_cast<size_t>(m) +
+                       static_cast<size_t>(j)] = est;
+      row[dk + j] = est;
+    }
+  }
+  session->EndRound();  // one-shot: everything in a single round
+
+  result.skyline = ComputeSkylineSFS(
+      PreferenceMatrix::FromRaw(n, dk + m, std::move(values)));
+  result.questions = session->stats().unary_questions;
+  result.rounds = session->stats().rounds;
+  result.worker_answers = session->oracle_stats().worker_answers;
+  result.questions_per_round = session->questions_per_round();
+  return result;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,23 @@
+// Unary-question method, simulating Lofi et al. [12] as the paper does
+// (Section 6.1): every tuple's missing value is estimated with a unary
+// (quantitative) question — workers rate the tuple on an absolute scale,
+// modelled as draws from N(true value, sigma) — and the skyline is then
+// computed machine-side over AK plus the estimates. One-shot strategy:
+// all n*|AC| questions are independent and run in a single round.
+#pragma once
+
+#include "algo/run_result.h"
+#include "crowd/session.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Result of the unary baseline: AlgoResult plus the estimated values
+/// (normalized, smaller preferred), row-major n x |AC|.
+struct UnaryResult : AlgoResult {
+  std::vector<double> estimates;
+};
+
+UnaryResult RunUnary(const Dataset& dataset, CrowdSession* session);
+
+}  // namespace crowdsky

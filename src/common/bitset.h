@@ -1,0 +1,191 @@
+// DynamicBitset: a run-time sized bitset with the bulk operations needed by
+// the dominance machinery (dominatee masks, transitive-closure rows).
+//
+// std::vector<bool> lacks word-level access and std::bitset is fixed-size;
+// the skyline and preference-graph code needs fast AND/OR/ANDNOT, popcount,
+// intersection tests and set-bit iteration over ~10^4-bit sets, so we keep
+// our own minimal implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+/// \brief Run-time sized bitset with word-parallel bulk operations.
+class DynamicBitset {
+ public:
+  using Word = uint64_t;
+  static constexpr size_t kBitsPerWord = 64;
+
+  DynamicBitset() = default;
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+  /// Number of backing 64-bit words.
+  size_t word_count() const { return words_.size(); }
+
+  /// Resizes to `size` bits; newly added bits are clear.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize((size + kBitsPerWord - 1) / kBitsPerWord, 0);
+    ClearPadding();
+  }
+
+  void Set(size_t i) {
+    CROWDSKY_DCHECK(i < size_);
+    words_[i / kBitsPerWord] |= Word{1} << (i % kBitsPerWord);
+  }
+  void Reset(size_t i) {
+    CROWDSKY_DCHECK(i < size_);
+    words_[i / kBitsPerWord] &= ~(Word{1} << (i % kBitsPerWord));
+  }
+  void SetTo(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+  bool Test(size_t i) const {
+    CROWDSKY_DCHECK(i < size_);
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+  }
+
+  /// Clears all bits.
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+  /// Sets all bits.
+  void SetAll() {
+    for (auto& w : words_) w = ~Word{0};
+    ClearPadding();
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (Word w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+  /// True iff no bit is set.
+  bool None() const {
+    for (Word w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  bool Any() const { return !None(); }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other) {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  /// this &= other.
+  void AndWith(const DynamicBitset& other) {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+  /// this &= ~other.
+  void AndNotWith(const DynamicBitset& other) {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// True iff (this & other) has at least one set bit.
+  bool Intersects(const DynamicBitset& other) const {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// popcount(this & other) without materializing the intersection.
+  size_t IntersectionCount(const DynamicBitset& other) const {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return n;
+  }
+
+  /// True iff every set bit of this is also set in other.
+  bool IsSubsetOf(const DynamicBitset& other) const {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Index of the lowest set bit, or size() if none.
+  size_t FindFirst() const { return FindNext(0); }
+
+  /// Index of the lowest set bit >= from, or size() if none.
+  size_t FindNext(size_t from) const {
+    if (from >= size_) return size_;
+    size_t wi = from / kBitsPerWord;
+    Word w = words_[wi] & (~Word{0} << (from % kBitsPerWord));
+    while (true) {
+      if (w != 0) {
+        return wi * kBitsPerWord +
+               static_cast<size_t>(__builtin_ctzll(w));
+      }
+      if (++wi >= words_.size()) return size_;
+      w = words_[wi];
+    }
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      Word w = words_[wi];
+      while (w != 0) {
+        const auto bit = static_cast<size_t>(__builtin_ctzll(w));
+        fn(wi * kBitsPerWord + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Collects set-bit indices into a vector<int> (ids in this codebase are
+  /// ints).
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(Count());
+    ForEachSetBit([&out](size_t i) { out.push_back(static_cast<int>(i)); });
+    return out;
+  }
+
+  /// Direct word access (read-only), for fused custom loops.
+  const Word* words() const { return words_.data(); }
+
+ private:
+  // Bits beyond size_ in the last word must stay clear so Count()/None()
+  // remain exact.
+  void ClearPadding() {
+    const size_t rem = size_ % kBitsPerWord;
+    if (!words_.empty() && rem != 0) {
+      words_.back() &= (Word{1} << rem) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace crowdsky

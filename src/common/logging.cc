@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace crowdsky {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(g_min_level)) return;
+  const std::string line = stream_.str();
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace internal
+}  // namespace crowdsky

@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr. Benches and examples use INFO; the
+// library itself logs only at WARNING and above so tests stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crowdsky {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and writes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crowdsky
+
+#define CROWDSKY_LOG(level)                                             \
+  ::crowdsky::internal::LogMessage(::crowdsky::LogLevel::k##level,      \
+                                   __FILE__, __LINE__)                  \
+      .stream()

@@ -1,0 +1,44 @@
+// Common macros used across the CrowdSky codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Disallow copy construction/assignment for a class.
+#define CROWDSKY_DISALLOW_COPY(TypeName)     \
+  TypeName(const TypeName&) = delete;        \
+  TypeName& operator=(const TypeName&) = delete
+
+// Branch-prediction hints.
+#define CROWDSKY_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define CROWDSKY_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+// Internal invariant check, active in all build types. Invariant failures
+// indicate a bug in CrowdSky itself (never bad user input, which is
+// reported through Status).
+#define CROWDSKY_CHECK(condition)                                          \
+  do {                                                                     \
+    if (CROWDSKY_PREDICT_FALSE(!(condition))) {                            \
+      ::std::fprintf(stderr, "CROWDSKY_CHECK failed at %s:%d: %s\n",       \
+                     __FILE__, __LINE__, #condition);                      \
+      ::std::abort();                                                      \
+    }                                                                      \
+  } while (false)
+
+#define CROWDSKY_CHECK_MSG(condition, msg)                                 \
+  do {                                                                     \
+    if (CROWDSKY_PREDICT_FALSE(!(condition))) {                            \
+      ::std::fprintf(stderr, "CROWDSKY_CHECK failed at %s:%d: %s (%s)\n",  \
+                     __FILE__, __LINE__, #condition, (msg));               \
+      ::std::abort();                                                      \
+    }                                                                      \
+  } while (false)
+
+// Debug-only check, compiled out in release builds.
+#ifdef NDEBUG
+#define CROWDSKY_DCHECK(condition) \
+  do {                             \
+  } while (false)
+#else
+#define CROWDSKY_DCHECK(condition) CROWDSKY_CHECK(condition)
+#endif

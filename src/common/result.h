@@ -1,0 +1,77 @@
+// Result<T>: a value or an error Status, following the Arrow idiom.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace crowdsky {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Typical use:
+/// \code
+///   Result<Dataset> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Dataset ds = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    CROWDSKY_CHECK_MSG(!status_.ok(),
+                       "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  /// The error status; Status::OK() if a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace crowdsky
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define CROWDSKY_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto CROWDSKY_CONCAT_(_result_, __LINE__) = (rexpr);               \
+  if (CROWDSKY_PREDICT_FALSE(!CROWDSKY_CONCAT_(_result_, __LINE__).ok())) { \
+    return CROWDSKY_CONCAT_(_result_, __LINE__).status();            \
+  }                                                                  \
+  lhs = std::move(CROWDSKY_CONCAT_(_result_, __LINE__)).ValueOrDie()
+
+#define CROWDSKY_CONCAT_IMPL_(a, b) a##b
+#define CROWDSKY_CONCAT_(a, b) CROWDSKY_CONCAT_IMPL_(a, b)

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace crowdsky {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kBudgetExhausted:
+      return "Budget exhausted";
+    case StatusCode::kContradiction:
+      return "Contradiction";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unrecognized code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(StatusCodeToString(code()));
+  result += ": ";
+  result += message();
+  return result;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,150 @@
+// Status: lightweight error propagation without exceptions, following the
+// RocksDB/Arrow idiom. Functions that can fail return a Status (or a
+// Result<T>, see result.h) instead of throwing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kBudgetExhausted = 7,
+  kContradiction = 8,
+  kUnknown = 9,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (single pointer). Error states
+/// allocate a small heap record. Use the CROWDSKY_RETURN_NOT_OK macro to
+/// propagate errors up the stack.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    std::swap(state_, other.state_);
+    return *this;
+  }
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Contradiction(std::string msg) {
+    return Status(StatusCode::kContradiction, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+  /// Error category; kOk when ok().
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsBudgetExhausted() const {
+    return code() == StatusCode::kBudgetExhausted;
+  }
+  bool IsContradiction() const {
+    return code() == StatusCode::kContradiction;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if this status is an error. Use at call sites where
+  /// failure indicates a programming bug.
+  void CheckOK() const {
+    CROWDSKY_CHECK_MSG(ok(), ToString().c_str());
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  Status(StatusCode code, std::string msg)
+      : state_(new State{code, std::move(msg)}) {}
+
+  State* state_;
+};
+
+}  // namespace crowdsky
+
+/// Propagates a non-OK Status to the caller.
+#define CROWDSKY_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::crowdsky::Status _st = (expr);              \
+    if (CROWDSKY_PREDICT_FALSE(!_st.ok())) {      \
+      return _st;                                 \
+    }                                             \
+  } while (false)

@@ -1,0 +1,132 @@
+#include "core/engine.h"
+
+#include <memory>
+
+#include "algo/baseline_sort.h"
+#include "algo/crowdsky_algorithm.h"
+#include "algo/parallel_dset.h"
+#include "algo/parallel_sl.h"
+#include "algo/unary.h"
+#include "common/random.h"
+#include "crowd/oracle.h"
+#include "crowd/session.h"
+#include "crowd/voting.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBaselineSort:
+      return "Baseline";
+    case Algorithm::kBitonicSort:
+      return "Bitonic";
+    case Algorithm::kCrowdSkySerial:
+      return "CrowdSky";
+    case Algorithm::kParallelDSet:
+      return "ParallelDSet";
+    case Algorithm::kParallelSL:
+      return "ParallelSL";
+    case Algorithm::kUnary:
+      return "Unary";
+  }
+  return "?";
+}
+
+Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
+                                     const EngineOptions& options) {
+  if (dataset.schema().num_crowd() == 0) {
+    return Status::InvalidArgument(
+        "dataset has no crowd attribute; use a machine-only skyline "
+        "algorithm instead");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.workers_per_question < 1 ||
+      options.workers_per_question % 2 == 0) {
+    return Status::InvalidArgument(
+        "workers_per_question must be positive and odd");
+  }
+  if (options.dynamic_voting && options.workers_per_question < 3) {
+    return Status::InvalidArgument(
+        "dynamic voting needs at least 3 base workers");
+  }
+  if (options.max_questions < 0) {
+    return Status::InvalidArgument("max_questions must be non-negative");
+  }
+  const bool crowdsky_family =
+      options.algorithm == Algorithm::kCrowdSkySerial ||
+      options.algorithm == Algorithm::kParallelDSet ||
+      options.algorithm == Algorithm::kParallelSL;
+  if (options.max_questions > 0 && !crowdsky_family) {
+    return Status::InvalidArgument(
+        "question budgets are only supported by the CrowdSky-family "
+        "algorithms (the sort baselines and the unary method need their "
+        "full question sets)");
+  }
+
+  const DominanceStructure structure(PreferenceMatrix::FromKnown(dataset));
+
+  std::unique_ptr<CrowdOracle> oracle;
+  if (options.oracle == OracleKind::kPerfect) {
+    oracle = std::make_unique<PerfectOracle>(dataset);
+  } else {
+    Rng rng(options.seed);
+    const VotingPolicy voting =
+        options.dynamic_voting
+            ? VotingPolicy::MakeDynamic(options.workers_per_question,
+                                        structure, &rng)
+            : VotingPolicy::MakeStatic(options.workers_per_question);
+    if (options.oracle == OracleKind::kMarketplace) {
+      MarketplaceOptions market = options.marketplace;
+      market.seed = rng.Next();
+      oracle =
+          std::make_unique<CrowdMarketplace>(dataset, market, voting);
+    } else {
+      oracle = std::make_unique<SimulatedCrowd>(dataset, options.worker,
+                                                voting, rng.Next());
+    }
+  }
+  CrowdSession session(oracle.get());
+  if (options.max_questions > 0) {
+    session.SetQuestionBudget(options.max_questions);
+  }
+
+  EngineResult result;
+  switch (options.algorithm) {
+    case Algorithm::kBaselineSort:
+      result.algo = RunBaselineSort(dataset, &session);
+      break;
+    case Algorithm::kBitonicSort:
+      result.algo = RunBitonicBaseline(dataset, &session);
+      break;
+    case Algorithm::kCrowdSkySerial:
+      result.algo =
+          RunCrowdSky(dataset, structure, &session, options.crowdsky);
+      break;
+    case Algorithm::kParallelDSet:
+      result.algo =
+          RunParallelDSet(dataset, structure, &session, options.crowdsky);
+      break;
+    case Algorithm::kParallelSL:
+      result.algo =
+          RunParallelSL(dataset, structure, &session, options.crowdsky);
+      break;
+    case Algorithm::kUnary:
+      result.algo = RunUnary(dataset, &session);
+      break;
+  }
+
+  result.skyline_labels.reserve(result.algo.skyline.size());
+  for (const int id : result.algo.skyline) {
+    result.skyline_labels.push_back(dataset.tuple(id).label);
+  }
+  result.accuracy = EvaluateNewSkylineAccuracy(dataset, result.algo.skyline);
+  AmtCostModel cost = options.cost_model;
+  cost.workers_per_question = options.workers_per_question;
+  result.cost_usd = cost.Cost(result.algo.questions_per_round);
+  return result;
+}
+
+}  // namespace crowdsky

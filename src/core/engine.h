@@ -1,0 +1,92 @@
+// Public entry point of the CrowdSky library.
+//
+// Typical use:
+//   Dataset data = ...;                       // crowd attrs hold ground truth
+//   EngineOptions opts;
+//   opts.algorithm = Algorithm::kParallelSL;
+//   opts.worker.p_correct = 0.8;
+//   Result<EngineResult> r = RunSkylineQuery(data, opts);
+//
+// The engine builds the dominance structure, wires a (simulated) crowd
+// oracle with the selected voting policy through a cached session, runs
+// the requested algorithm, and reports the skyline together with monetary
+// cost, latency (rounds) and accuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algo/metrics.h"
+#include "algo/run_result.h"
+#include "common/result.h"
+#include "crowd/cost_model.h"
+#include "crowd/marketplace.h"
+#include "crowd/worker_model.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// The crowd-enabled skyline algorithms shipped by this library.
+enum class Algorithm {
+  kBaselineSort,   ///< tournament-sort baseline (Section 3 / Figures 6-9)
+  kBitonicSort,    ///< bitonic-network baseline (extension)
+  kCrowdSkySerial, ///< Algorithm 1, one question per round
+  kParallelDSet,   ///< Section 4.1 partitioning
+  kParallelSL,     ///< Algorithm 2, skyline layers (recommended default)
+  kUnary,          ///< unary-question method of [12] (accuracy comparison)
+};
+
+/// Stable display name ("Baseline", "CrowdSky", ...).
+const char* AlgorithmName(Algorithm a);
+
+/// Which oracle answers the questions.
+enum class OracleKind {
+  kPerfect,      ///< always-correct answers (cost/latency experiments)
+  kSimulated,    ///< Bernoulli workers + majority voting (accuracy experiments)
+  kMarketplace,  ///< persistent worker pool with qualification (Section 6.2)
+};
+
+/// Everything configurable about one engine run.
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kParallelSL;
+  CrowdSkyOptions crowdsky;
+
+  OracleKind oracle = OracleKind::kSimulated;
+  WorkerModel worker;
+  /// ω: base number of workers per question (positive odd).
+  int workers_per_question = 5;
+  /// Use the dynamic (query-dependent) voting of Section 5.
+  bool dynamic_voting = false;
+  uint64_t seed = 42;
+
+  /// Hard cap on paid questions (0 = unlimited). Supported by the
+  /// CrowdSky-family algorithms, which then return a best-effort skyline —
+  /// undecided tuples stay in the result and are counted in
+  /// AlgoResult::incomplete_tuples (the fixed-budget setting of [12]).
+  int64_t max_questions = 0;
+
+  /// Platform configuration used when `oracle` is kMarketplace (its
+  /// population model; `worker` above is ignored in that case, and the
+  /// marketplace pool is seeded from `seed`).
+  MarketplaceOptions marketplace;
+
+  AmtCostModel cost_model;
+};
+
+/// Output of one engine run.
+struct EngineResult {
+  AlgoResult algo;
+  /// Labels of the skyline tuples (empty strings when unlabeled).
+  std::vector<std::string> skyline_labels;
+  /// Accuracy vs the hidden ground truth.
+  AccuracyMetrics accuracy;
+  /// Monetary cost under the configured AMT model.
+  double cost_usd = 0.0;
+};
+
+/// Runs a crowd-enabled skyline query. Fails on invalid options (no crowd
+/// attribute, even worker count, ...).
+Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
+                                     const EngineOptions& options = {});
+
+}  // namespace crowdsky

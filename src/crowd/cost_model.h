@@ -1,0 +1,42 @@
+// AMT monetary cost model (Section 6.2): with a reward of $0.02 per
+// question-bundle (HIT) per worker, ω workers per question, and HITs of 5
+// questions, the paper computes
+//
+//     cost = 0.02 * ω * Σ_i ceil(|Q_i| / 5)
+//
+// where |Q_i| is the number of questions issued in round i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+/// Pricing parameters of the crowdsourcing platform.
+struct AmtCostModel {
+  double reward_per_hit = 0.02;  ///< USD per HIT per worker
+  int workers_per_question = 5;  ///< ω
+  int questions_per_hit = 5;     ///< questions bundled into one HIT
+
+  /// Number of HITs needed for the given per-round question counts
+  /// (rounds cannot share a HIT).
+  int64_t Hits(const std::vector<int64_t>& questions_per_round) const {
+    CROWDSKY_CHECK(questions_per_hit > 0);
+    int64_t hits = 0;
+    for (const int64_t q : questions_per_round) {
+      CROWDSKY_CHECK(q >= 0);
+      hits += (q + questions_per_hit - 1) / questions_per_hit;
+    }
+    return hits;
+  }
+
+  /// Total cost in USD (the paper's formula).
+  double Cost(const std::vector<int64_t>& questions_per_round) const {
+    return reward_per_hit * workers_per_question *
+           static_cast<double>(Hits(questions_per_round));
+  }
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,161 @@
+#include "crowd/marketplace.h"
+
+#include <algorithm>
+
+namespace crowdsky {
+
+CrowdMarketplace::CrowdMarketplace(const Dataset& dataset,
+                                   MarketplaceOptions options,
+                                   VotingPolicy voting)
+    : crowd_(PreferenceMatrix::FromCrowd(dataset)),
+      options_(options),
+      voting_(voting),
+      rng_(options.seed) {
+  CROWDSKY_CHECK_MSG(options_.pool_size > 0, "pool must not be empty");
+  CROWDSKY_CHECK(options_.gold_questions >= 0);
+  workers_.reserve(static_cast<size_t>(options_.pool_size));
+  for (int id = 0; id < options_.pool_size; ++id) {
+    Worker w;
+    w.id = id;
+    w.spammer = rng_.Bernoulli(options_.population.spammer_fraction);
+    if (options_.population.p_stddev > 0.0) {
+      w.p_correct = std::clamp(
+          rng_.Gaussian(options_.population.p_correct,
+                        options_.population.p_stddev),
+          0.5, 1.0);
+    } else {
+      w.p_correct = options_.population.p_correct;
+    }
+    // Qualification: the worker answers gold (known-answer) questions;
+    // spammers are right half the time.
+    if (options_.gold_questions > 0) {
+      const double p = w.spammer ? 0.5 : w.p_correct;
+      int correct = 0;
+      for (int g = 0; g < options_.gold_questions; ++g) {
+        correct += rng_.Bernoulli(p) ? 1 : 0;
+      }
+      w.gold_accuracy =
+          static_cast<double>(correct) / options_.gold_questions;
+      w.qualified = w.gold_accuracy >= options_.qualification_threshold;
+    }
+    if (w.qualified) qualified_.push_back(id);
+    workers_.push_back(w);
+  }
+  CROWDSKY_CHECK_MSG(!qualified_.empty(),
+                     "qualification rejected every worker; lower the "
+                     "threshold or enlarge the pool");
+
+  value_range_.resize(static_cast<size_t>(crowd_.dims()), 1.0);
+  for (int k = 0; k < crowd_.dims(); ++k) {
+    double lo = 0.0, hi = 0.0;
+    for (int id = 0; id < crowd_.size(); ++id) {
+      const double v = crowd_.value(id, k);
+      if (id == 0 || v < lo) lo = v;
+      if (id == 0 || v > hi) hi = v;
+    }
+    value_range_[static_cast<size_t>(k)] = std::max(hi - lo, 1e-12);
+  }
+}
+
+double CrowdMarketplace::QualifiedPoolReliability() const {
+  double sum = 0.0;
+  for (const int id : qualified_) {
+    const Worker& w = workers_[static_cast<size_t>(id)];
+    sum += w.spammer ? 0.5 : w.p_correct;
+  }
+  return sum / static_cast<double>(qualified_.size());
+}
+
+void CrowdMarketplace::SampleDistinct(int count, std::vector<int>* out) {
+  out->clear();
+  const auto pool = static_cast<int>(qualified_.size());
+  if (count >= pool) {
+    *out = qualified_;  // tiny pool: everyone answers
+    return;
+  }
+  // Partial Fisher-Yates over a scratch copy of the qualified pool.
+  sample_scratch_ = qualified_;
+  for (int i = 0; i < count; ++i) {
+    const auto j = i + static_cast<int>(rng_.NextBounded(
+                           static_cast<uint64_t>(pool - i)));
+    std::swap(sample_scratch_[static_cast<size_t>(i)],
+              sample_scratch_[static_cast<size_t>(j)]);
+    out->push_back(sample_scratch_[static_cast<size_t>(i)]);
+  }
+}
+
+Answer CrowdMarketplace::WorkerVote(const Worker& w, const PairQuestion& q) {
+  const double a = crowd_.value(q.first, q.attr);
+  const double b = crowd_.value(q.second, q.attr);
+  const Answer truth = a < b   ? Answer::kFirstPreferred
+                       : b < a ? Answer::kSecondPreferred
+                               : Answer::kEqual;
+  if (w.spammer) {
+    return rng_.Bernoulli(0.5) ? Answer::kFirstPreferred
+                               : Answer::kSecondPreferred;
+  }
+  if (rng_.Bernoulli(w.p_correct)) return truth;
+  if (truth == Answer::kEqual) {
+    return rng_.Bernoulli(0.5) ? Answer::kFirstPreferred
+                               : Answer::kSecondPreferred;
+  }
+  return FlipAnswer(truth);
+}
+
+Answer CrowdMarketplace::AnswerPair(const PairQuestion& q,
+                                    const AskContext& ctx) {
+  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
+  ++stats_.pair_questions;
+  std::vector<int> assigned;
+  SampleDistinct(voting_.WorkersFor(ctx.freq), &assigned);
+  double votes[3] = {0, 0, 0};
+  for (const int id : assigned) {
+    Worker& w = workers_[static_cast<size_t>(id)];
+    double weight = 1.0;
+    if (options_.weighted_votes && options_.gold_questions > 0) {
+      // Log-odds of the worker's estimated accuracy: reliable workers
+      // outvote doubtful ones; a coin-flipper weighs ~0.
+      const double p = std::clamp(w.gold_accuracy, 0.51, 0.99);
+      const double odds = p / (1.0 - p);
+      weight = __builtin_log(odds);
+    }
+    votes[static_cast<int>(WorkerVote(w, q))] += weight;
+    ++w.answers_given;
+    ++stats_.worker_answers;
+  }
+  if (votes[0] > votes[1] && votes[0] >= votes[2]) {
+    return Answer::kFirstPreferred;
+  }
+  if (votes[1] > votes[0] && votes[1] >= votes[2]) {
+    return Answer::kSecondPreferred;
+  }
+  if (votes[2] >= votes[0] && votes[2] >= votes[1]) return Answer::kEqual;
+  return q.first < q.second ? Answer::kFirstPreferred
+                            : Answer::kSecondPreferred;
+}
+
+double CrowdMarketplace::AnswerUnary(int id, int attr,
+                                     const AskContext& ctx) {
+  CROWDSKY_CHECK(attr >= 0 && attr < crowd_.dims());
+  ++stats_.unary_questions;
+  std::vector<int> assigned;
+  SampleDistinct(voting_.WorkersFor(ctx.freq), &assigned);
+  const double truth = crowd_.value(id, attr);
+  const double sigma = options_.population.unary_sigma *
+                       value_range_[static_cast<size_t>(attr)];
+  double sum = 0.0;
+  for (const int wid : assigned) {
+    Worker& w = workers_[static_cast<size_t>(wid)];
+    // Spammers rate uniformly at random across the value range.
+    if (w.spammer) {
+      sum += rng_.Uniform(truth - 2 * sigma, truth + 2 * sigma);
+    } else {
+      sum += rng_.Gaussian(truth, sigma);
+    }
+    ++w.answers_given;
+    ++stats_.worker_answers;
+  }
+  return sum / static_cast<double>(assigned.size());
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,126 @@
+#include "crowd/oracle.h"
+
+#include <algorithm>
+
+namespace crowdsky {
+namespace {
+
+/// The objectively correct answer, from normalized hidden values
+/// (smaller preferred).
+Answer TrueAnswer(const PreferenceMatrix& crowd, const PairQuestion& q) {
+  const double a = crowd.value(q.first, q.attr);
+  const double b = crowd.value(q.second, q.attr);
+  if (a < b) return Answer::kFirstPreferred;
+  if (b < a) return Answer::kSecondPreferred;
+  return Answer::kEqual;
+}
+
+}  // namespace
+
+PerfectOracle::PerfectOracle(const Dataset& dataset)
+    : crowd_(PreferenceMatrix::FromCrowd(dataset)) {}
+
+Answer PerfectOracle::AnswerPair(const PairQuestion& q,
+                                 const AskContext& /*ctx*/) {
+  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
+  ++stats_.pair_questions;
+  ++stats_.worker_answers;
+  return TrueAnswer(crowd_, q);
+}
+
+double PerfectOracle::AnswerUnary(int id, int attr,
+                                  const AskContext& /*ctx*/) {
+  ++stats_.unary_questions;
+  ++stats_.worker_answers;
+  return crowd_.value(id, attr);
+}
+
+SimulatedCrowd::SimulatedCrowd(const Dataset& dataset, WorkerModel worker,
+                               VotingPolicy voting, uint64_t seed)
+    : crowd_(PreferenceMatrix::FromCrowd(dataset)),
+      worker_(worker),
+      voting_(voting),
+      rng_(seed) {
+  // Per-attribute value range, used to scale unary rating noise.
+  value_range_.resize(static_cast<size_t>(crowd_.dims()), 1.0);
+  for (int k = 0; k < crowd_.dims(); ++k) {
+    double lo = 0.0, hi = 0.0;
+    for (int id = 0; id < crowd_.size(); ++id) {
+      const double v = crowd_.value(id, k);
+      if (id == 0 || v < lo) lo = v;
+      if (id == 0 || v > hi) hi = v;
+    }
+    value_range_[static_cast<size_t>(k)] = std::max(hi - lo, 1e-12);
+  }
+}
+
+Answer SimulatedCrowd::WorkerVote(const PairQuestion& q) {
+  if (worker_.spammer_fraction > 0.0 &&
+      rng_.Bernoulli(worker_.spammer_fraction)) {
+    return rng_.Bernoulli(0.5) ? Answer::kFirstPreferred
+                               : Answer::kSecondPreferred;
+  }
+  double p = worker_.p_correct;
+  if (worker_.p_stddev > 0.0) {
+    p = std::clamp(rng_.Gaussian(worker_.p_correct, worker_.p_stddev), 0.5,
+                   1.0);
+  }
+  const Answer truth = TrueAnswer(crowd_, q);
+  if (rng_.Bernoulli(p)) return truth;
+  // A wrong answer: for an ordered pair the worker flips the preference;
+  // for a true tie the worker picks a random side.
+  if (truth == Answer::kEqual) {
+    return rng_.Bernoulli(0.5) ? Answer::kFirstPreferred
+                               : Answer::kSecondPreferred;
+  }
+  return FlipAnswer(truth);
+}
+
+Answer SimulatedCrowd::AnswerPairWithWorkers(const PairQuestion& q,
+                                             int workers) {
+  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
+  CROWDSKY_CHECK(workers >= 1);
+  ++stats_.pair_questions;
+  int votes[3] = {0, 0, 0};
+  for (int w = 0; w < workers; ++w) {
+    ++votes[static_cast<int>(WorkerVote(q))];
+    ++stats_.worker_answers;
+  }
+  // Majority; deterministic tie-break toward "equal" last so that an
+  // ordered majority always wins over a split-with-equals.
+  if (votes[0] > votes[1] && votes[0] >= votes[2]) {
+    return Answer::kFirstPreferred;
+  }
+  if (votes[1] > votes[0] && votes[1] >= votes[2]) {
+    return Answer::kSecondPreferred;
+  }
+  if (votes[2] >= votes[0] && votes[2] >= votes[1]) {
+    return Answer::kEqual;
+  }
+  // votes[0] == votes[1] > votes[2]: a genuine split; break by canonical
+  // orientation to stay deterministic.
+  return q.first < q.second ? Answer::kFirstPreferred
+                            : Answer::kSecondPreferred;
+}
+
+Answer SimulatedCrowd::AnswerPair(const PairQuestion& q,
+                                  const AskContext& ctx) {
+  return AnswerPairWithWorkers(q, voting_.WorkersFor(ctx.freq));
+}
+
+double SimulatedCrowd::AnswerUnary(int id, int attr, const AskContext& ctx) {
+  CROWDSKY_CHECK(attr >= 0 && attr < crowd_.dims());
+  ++stats_.unary_questions;
+  const int workers = voting_.WorkersFor(ctx.freq);
+  const double truth = crowd_.value(id, attr);
+  const double sigma =
+      worker_.unary_sigma * value_range_[static_cast<size_t>(attr)];
+  double sum = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    sum += rng_.Gaussian(truth, sigma);
+    ++stats_.worker_answers;
+  }
+  return sum / workers;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,90 @@
+// Crowd oracles: the boundary between the machine-side algorithms and the
+// (simulated) human workers.
+//
+// An oracle answers one pair-wise question with an *aggregated* (majority-
+// voted) answer, and one unary question (for the [12] baseline) with an
+// estimated value. The algorithms never see the hidden ground truth —
+// only oracle answers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "crowd/question.h"
+#include "crowd/voting.h"
+#include "crowd/worker_model.h"
+#include "data/dataset.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+
+/// Cumulative oracle-side counters.
+struct OracleStats {
+  int64_t pair_questions = 0;    ///< pair-wise questions answered
+  int64_t unary_questions = 0;   ///< unary questions answered
+  int64_t worker_answers = 0;    ///< individual worker assignments consumed
+};
+
+/// \brief Interface: answers crowd questions about a fixed dataset.
+class CrowdOracle {
+ public:
+  virtual ~CrowdOracle() = default;
+
+  /// Majority-voted answer to a pair-wise question. `ctx.freq` carries the
+  /// question's importance for dynamic voting.
+  virtual Answer AnswerPair(const PairQuestion& q, const AskContext& ctx) = 0;
+
+  /// Estimated (noisy) value of tuple `id` on crowd attribute `attr`
+  /// (position within crowd_indices), normalized so smaller is preferred.
+  /// Used only by the unary-question baseline of [12].
+  virtual double AnswerUnary(int id, int attr, const AskContext& ctx) = 0;
+
+  const OracleStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OracleStats{}; }
+
+ protected:
+  OracleStats stats_;
+};
+
+/// \brief Always-correct oracle reading the hidden ground truth directly.
+///
+/// Used by the cost/latency experiments, which assume correct answers
+/// (Sections 3-4), and by correctness tests. Each pair question consumes
+/// one worker answer.
+class PerfectOracle : public CrowdOracle {
+ public:
+  explicit PerfectOracle(const Dataset& dataset);
+
+  Answer AnswerPair(const PairQuestion& q, const AskContext& ctx) override;
+  double AnswerUnary(int id, int attr, const AskContext& ctx) override;
+
+ private:
+  PreferenceMatrix crowd_;  // normalized hidden values, smaller preferred
+};
+
+/// \brief Simulated AMT crowd: Bernoulli workers + majority voting.
+class SimulatedCrowd : public CrowdOracle {
+ public:
+  SimulatedCrowd(const Dataset& dataset, WorkerModel worker,
+                 VotingPolicy voting, uint64_t seed);
+
+  Answer AnswerPair(const PairQuestion& q, const AskContext& ctx) override;
+  double AnswerUnary(int id, int attr, const AskContext& ctx) override;
+
+  /// Answer a pair question with an explicit worker count (bypasses the
+  /// voting policy); used by unit tests.
+  Answer AnswerPairWithWorkers(const PairQuestion& q, int workers);
+
+ private:
+  /// One simulated worker's vote on q.
+  Answer WorkerVote(const PairQuestion& q);
+
+  PreferenceMatrix crowd_;
+  WorkerModel worker_;
+  VotingPolicy voting_;
+  Rng rng_;
+  std::vector<double> value_range_;  // per crowd attr, for unary noise
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,74 @@
+// Question and answer types for the pair-wise (qualitative) micro-task
+// format of Section 2.1: given two tuples, the crowd picks the preferred
+// one or declares them equally preferred (ternary answer). Questions are
+// symmetric: (s, t) = (t, s).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+/// Aggregated (majority-voted) outcome of a pair-wise question.
+enum class Answer {
+  kFirstPreferred,
+  kSecondPreferred,
+  kEqual,
+};
+
+/// Flips an answer's orientation (first <-> second).
+inline Answer FlipAnswer(Answer a) {
+  switch (a) {
+    case Answer::kFirstPreferred:
+      return Answer::kSecondPreferred;
+    case Answer::kSecondPreferred:
+      return Answer::kFirstPreferred;
+    case Answer::kEqual:
+      return Answer::kEqual;
+  }
+  return Answer::kEqual;
+}
+
+/// A pair-wise question on one crowd attribute. `attr` is the position of
+/// the attribute within the schema's crowd_indices() (0-based), so a query
+/// with |AC| = m generates m PairQuestions per tuple pair.
+struct PairQuestion {
+  int attr = 0;
+  int first = -1;
+  int second = -1;
+
+  /// Canonical form with first < second, for cache keys.
+  PairQuestion Canonical() const {
+    if (first <= second) return *this;
+    return PairQuestion{attr, second, first};
+  }
+
+  bool operator==(const PairQuestion& other) const {
+    return attr == other.attr && first == other.first &&
+           second == other.second;
+  }
+};
+
+/// Hash for canonical PairQuestions.
+struct PairQuestionHash {
+  size_t operator()(const PairQuestion& q) const {
+    uint64_t h = static_cast<uint64_t>(q.attr) *
+                 uint64_t{0x9e3779b97f4a7c15};
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(q.first)) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(q.second)) << 32);
+    h *= uint64_t{0xbf58476d1ce4e5b9};
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Context passed along with a question so query-dependent components
+/// (dynamic voting, Section 5) can see its importance.
+struct AskContext {
+  /// freq(u, v): number of tuples both endpoints dominate in AK.
+  size_t freq = 0;
+};
+
+}  // namespace crowdsky

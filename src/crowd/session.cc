@@ -1,0 +1,40 @@
+#include "crowd/session.h"
+
+namespace crowdsky {
+
+Answer CrowdSession::Ask(int attr, int u, int v, const AskContext& ctx) {
+  CROWDSKY_CHECK_MSG(u != v, "pair question needs two distinct tuples");
+  const PairQuestion canonical = PairQuestion{attr, u, v}.Canonical();
+  const bool flipped = canonical.first != u;
+  auto it = cache_.find(canonical);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return flipped ? FlipAnswer(it->second) : it->second;
+  }
+  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
+  const Answer canonical_answer = oracle_->AnswerPair(canonical, ctx);
+  cache_.emplace(canonical, canonical_answer);
+  ++stats_.questions;
+  ++open_round_questions_;
+  return flipped ? FlipAnswer(canonical_answer) : canonical_answer;
+}
+
+bool CrowdSession::IsCached(int attr, int u, int v) const {
+  return cache_.contains(PairQuestion{attr, u, v}.Canonical());
+}
+
+double CrowdSession::AskUnary(int id, int attr, const AskContext& ctx) {
+  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
+  ++stats_.unary_questions;
+  ++open_round_questions_;
+  return oracle_->AnswerUnary(id, attr, ctx);
+}
+
+void CrowdSession::EndRound() {
+  if (open_round_questions_ == 0) return;
+  questions_per_round_.push_back(open_round_questions_);
+  ++stats_.rounds;
+  open_round_questions_ = 0;
+}
+
+}  // namespace crowdsky

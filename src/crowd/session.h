@@ -1,0 +1,86 @@
+// CrowdSession: the bookkeeping layer every crowd-enabled algorithm talks
+// through. It owns
+//
+//  * the question cache — a (attr, u, v) -> answer memo guaranteeing that
+//    no pair-wise question is ever paid for twice (tournament replays,
+//    transitivity lookups, overlapping evaluators in ParallelSL),
+//  * round accounting — questions asked between two EndRound() calls share
+//    one crowd round (Section 2.1's latency model: a round is a fixed
+//    amount of wall-clock time in which any number of *independent*
+//    questions run in parallel),
+//  * the per-round question counts that the AMT cost model consumes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crowd/oracle.h"
+#include "crowd/question.h"
+
+namespace crowdsky {
+
+/// Session-side counters (complementing OracleStats).
+struct SessionStats {
+  int64_t questions = 0;    ///< distinct pair questions sent to the crowd
+  int64_t cache_hits = 0;   ///< asks answered from the memo (free)
+  int64_t rounds = 0;       ///< crowd rounds consumed
+  int64_t unary_questions = 0;
+};
+
+/// \brief Cache + round accounting wrapper around a CrowdOracle.
+class CrowdSession {
+ public:
+  /// The session does not own the oracle.
+  explicit CrowdSession(CrowdOracle* oracle) : oracle_(oracle) {
+    CROWDSKY_CHECK(oracle != nullptr);
+  }
+  CROWDSKY_DISALLOW_COPY(CrowdSession);
+
+  /// Caps the number of paid questions (pair + unary). Asking past the
+  /// budget is a programming error; callers must check CanAsk() first.
+  /// A negative budget (the default) means unlimited.
+  void SetQuestionBudget(int64_t budget) { budget_ = budget; }
+  /// True iff at least one more paid question fits the budget. Cached
+  /// answers are always free.
+  bool CanAsk() const {
+    return budget_ < 0 ||
+           stats_.questions + stats_.unary_questions < budget_;
+  }
+
+  /// Asks the pair-wise question (u, v) on crowd attribute `attr`
+  /// (canonicalized internally; the returned answer is oriented so that
+  /// kFirstPreferred means `u` preferred). Cached answers are returned
+  /// without contacting the crowd and consume no round capacity.
+  Answer Ask(int attr, int u, int v, const AskContext& ctx = {});
+
+  /// True iff the question is already answered in the cache.
+  bool IsCached(int attr, int u, int v) const;
+
+  /// Asks a unary question (value estimate); not cached (each tuple is
+  /// asked once by construction in the unary baseline).
+  double AskUnary(int id, int attr, const AskContext& ctx = {});
+
+  /// Closes the current round if any questions were asked in it. Serial
+  /// drivers call this after every ask; parallel drivers after each batch.
+  void EndRound();
+
+  const SessionStats& stats() const { return stats_; }
+  const OracleStats& oracle_stats() const { return oracle_->stats(); }
+  /// Number of questions in each closed round, in order.
+  const std::vector<int64_t>& questions_per_round() const {
+    return questions_per_round_;
+  }
+  /// Questions asked in the currently open round.
+  int64_t open_round_questions() const { return open_round_questions_; }
+
+ private:
+  CrowdOracle* oracle_;
+  std::unordered_map<PairQuestion, Answer, PairQuestionHash> cache_;
+  SessionStats stats_;
+  std::vector<int64_t> questions_per_round_;
+  int64_t open_round_questions_ = 0;
+  int64_t budget_ = -1;
+};
+
+}  // namespace crowdsky

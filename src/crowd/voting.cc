@@ -1,0 +1,100 @@
+#include "crowd/voting.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+
+VotingPolicy::VotingPolicy(int workers, bool dynamic, size_t alpha,
+                           size_t beta)
+    : base_workers_(workers), dynamic_(dynamic), alpha_(alpha), beta_(beta) {
+  CROWDSKY_CHECK_MSG(workers >= 1 && workers % 2 == 1,
+                     "worker count must be positive and odd");
+  CROWDSKY_CHECK(!dynamic || workers >= 3);
+}
+
+VotingPolicy VotingPolicy::MakeStatic(int workers) {
+  return VotingPolicy(workers, /*dynamic=*/false, 0, 0);
+}
+
+VotingPolicy VotingPolicy::MakeDynamicWithThresholds(int workers,
+                                                     size_t alpha,
+                                                     size_t beta) {
+  CROWDSKY_CHECK(alpha <= beta);
+  return VotingPolicy(workers, /*dynamic=*/true, alpha, beta);
+}
+
+VotingPolicy VotingPolicy::MakeDynamic(int workers,
+                                       const DominanceStructure& structure,
+                                       Rng* rng, double alpha_quantile,
+                                       double beta_quantile) {
+  CROWDSKY_CHECK(alpha_quantile <= beta_quantile);
+  const int n = structure.size();
+  // Sample pair frequencies; keep positive ones (questions CrowdSky asks
+  // almost always have common dominatees: probe pairs by construction,
+  // Q(t) pairs because the dominator also dominates t's dominatees).
+  std::vector<size_t> freqs;
+  const int64_t total_pairs =
+      static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1) / 2;
+  const int64_t budget = 200000;
+  if (n >= 2 && total_pairs <= budget) {
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        const size_t f = structure.Frequency(u, v);
+        if (f > 0) freqs.push_back(f);
+      }
+    }
+  } else if (n >= 2) {
+    for (int64_t i = 0; i < budget; ++i) {
+      const int u = static_cast<int>(
+          rng->NextBounded(static_cast<uint64_t>(n)));
+      int v = static_cast<int>(
+          rng->NextBounded(static_cast<uint64_t>(n)));
+      if (u == v) continue;
+      const size_t f = structure.Frequency(u, v);
+      if (f > 0) freqs.push_back(f);
+    }
+  }
+  if (freqs.empty()) {
+    // Degenerate dominance-free data: everything is "unimportant".
+    return MakeDynamicWithThresholds(workers, 1, 1);
+  }
+  std::sort(freqs.begin(), freqs.end());
+  auto quantile = [&freqs](double q) {
+    const auto idx = static_cast<size_t>(
+        q * static_cast<double>(freqs.size() - 1));
+    return freqs[idx];
+  };
+  size_t alpha = quantile(alpha_quantile);
+  size_t beta = quantile(beta_quantile);
+  if (beta < alpha) beta = alpha;
+  return MakeDynamicWithThresholds(workers, alpha, beta);
+}
+
+int VotingPolicy::WorkersFor(size_t freq) const {
+  if (!dynamic_) return base_workers_;
+  if (freq < alpha_) return base_workers_ - 2;
+  if (freq >= beta_) return base_workers_ + 2;
+  return base_workers_;
+}
+
+double MajorityCorrectProbability(int omega, double p) {
+  CROWDSKY_CHECK(omega >= 1 && omega % 2 == 1);
+  // sum_{i=ceil(omega/2)}^{omega} C(omega, i) p^i (1-p)^(omega-i)
+  double total = 0.0;
+  for (int i = (omega + 1) / 2; i <= omega; ++i) {
+    double binom = 1.0;
+    for (int k = 0; k < i; ++k) {
+      binom *= static_cast<double>(omega - k) / static_cast<double>(i - k);
+    }
+    double term = binom;
+    for (int k = 0; k < i; ++k) term *= p;
+    for (int k = 0; k < omega - i; ++k) term *= (1.0 - p);
+    total += term;
+  }
+  return total;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,66 @@
+// Majority voting over multiple workers per question (Section 5).
+//
+// StaticVoting assigns the same ω workers to every question. DynamicVoting
+// assigns ω+2 / ω / ω−2 workers depending on where the question's
+// freq(u,v) falls relative to two thresholds α < β derived from the
+// dataset's pair-frequency distribution — more workers for the questions
+// whose (possibly wrong) answers would propagate furthest through the
+// preference tree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+class DominanceStructure;
+class Rng;
+
+/// How the number of workers per question is chosen.
+class VotingPolicy {
+ public:
+  /// ω workers for every question. ω must be a positive odd number.
+  static VotingPolicy MakeStatic(int workers);
+
+  /// Dynamic assignment per Section 5: given the distribution of positive
+  /// pair frequencies of `structure` (estimated by sampling), questions
+  /// with freq below the `alpha_quantile` get ω−2 workers, above the
+  /// `beta_quantile` get ω+2, and ω otherwise. The default quantiles are
+  /// calibrated so that a CrowdSky run consumes the same total worker
+  /// budget as static voting (the adaptive question mix skews toward
+  /// high-frequency pairs, so the quantiles sit above the naive 0.3/0.7).
+  static VotingPolicy MakeDynamic(int workers,
+                                  const DominanceStructure& structure,
+                                  Rng* rng, double alpha_quantile = 0.5,
+                                  double beta_quantile = 0.9);
+
+  /// Dynamic assignment with explicit thresholds (freq < alpha → ω−2,
+  /// freq >= beta → ω+2).
+  static VotingPolicy MakeDynamicWithThresholds(int workers, size_t alpha,
+                                                size_t beta);
+
+  /// Number of workers to assign to a question of the given importance.
+  int WorkersFor(size_t freq) const;
+
+  bool is_dynamic() const { return dynamic_; }
+  int base_workers() const { return base_workers_; }
+  size_t alpha() const { return alpha_; }
+  size_t beta() const { return beta_; }
+
+ private:
+  VotingPolicy(int workers, bool dynamic, size_t alpha, size_t beta);
+
+  int base_workers_;
+  bool dynamic_;
+  size_t alpha_ = 0;
+  size_t beta_ = 0;
+};
+
+/// Probability that a majority vote of `omega` independent workers, each
+/// correct with probability p, yields the correct answer (the binomial
+/// expression of Section 5). `omega` must be positive and odd.
+double MajorityCorrectProbability(int omega, double p);
+
+}  // namespace crowdsky

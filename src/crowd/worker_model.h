@@ -1,0 +1,26 @@
+// Statistical model of an individual crowd worker, used by the simulated
+// crowd (Section 6.1 uses homogeneous Bernoulli workers with p = 0.8; the
+// extra knobs support robustness experiments beyond the paper).
+#pragma once
+
+namespace crowdsky {
+
+/// Per-worker behaviour parameters.
+struct WorkerModel {
+  /// Probability that a worker answers a pair-wise question correctly.
+  double p_correct = 0.8;
+  /// Std-dev of per-worker reliability (0 = homogeneous workers). Each
+  /// sampled worker gets p ~ clamp(N(p_correct, p_stddev), 0.5, 1).
+  double p_stddev = 0.0;
+  /// Fraction of workers that answer uniformly at random regardless of the
+  /// question (spam injection; 0 in the paper's experiments).
+  double spammer_fraction = 0.0;
+  /// Std-dev of a worker's *unary* rating, as a fraction of the attribute's
+  /// value range (used when simulating the unary questions of [12]).
+  /// Absolute judgements are much harder than relative ones — workers have
+  /// no global knowledge of the value distribution (Section 2.1) — so the
+  /// default is substantially larger than pair-wise error rates suggest.
+  double unary_sigma = 0.3;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,166 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace crowdsky {
+namespace {
+
+Result<AttributeSpec> ParseHeaderField(const std::string& field) {
+  const std::vector<std::string> parts = SplitString(field, ':');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "header field must be name:kind:direction, got '" + field + "'");
+  }
+  AttributeSpec spec;
+  spec.name = std::string(TrimWhitespace(parts[0]));
+  const std::string kind(TrimWhitespace(parts[1]));
+  const std::string dir(TrimWhitespace(parts[2]));
+  if (kind == "known") {
+    spec.kind = AttributeKind::kKnown;
+  } else if (kind == "crowd") {
+    spec.kind = AttributeKind::kCrowd;
+  } else {
+    return Status::InvalidArgument("attribute kind must be known|crowd: '" +
+                                   kind + "'");
+  }
+  if (dir == "min") {
+    spec.direction = Direction::kMin;
+  } else if (dir == "max") {
+    spec.direction = Direction::kMax;
+  } else {
+    return Status::InvalidArgument("direction must be min|max: '" + dir +
+                                   "'");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  const std::vector<std::string> header = SplitString(line, ',');
+  std::vector<AttributeSpec> specs;
+  bool has_label = false;
+  for (size_t i = 0; i < header.size(); ++i) {
+    const std::string field(TrimWhitespace(header[i]));
+    if (field == "label") {
+      if (i + 1 != header.size()) {
+        return Status::InvalidArgument("label must be the last column");
+      }
+      has_label = true;
+      break;
+    }
+    CROWDSKY_ASSIGN_OR_RETURN(AttributeSpec spec, ParseHeaderField(field));
+    specs.push_back(std::move(spec));
+  }
+  CROWDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(specs)));
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> labels;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (TrimWhitespace(line).empty()) continue;
+    // The first num_attributes() fields are numeric; when a label column
+    // exists, everything after the last numeric field is the label, so
+    // labels may themselves contain commas ("Monsters, Inc.").
+    std::vector<double> row;
+    row.reserve(static_cast<size_t>(schema.num_attributes()));
+    size_t pos = 0;
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (pos > line.size()) {
+        return Status::InvalidArgument(StringFormat(
+            "line %zu: expected %d numeric fields", line_no,
+            schema.num_attributes()));
+      }
+      size_t comma = line.find(',', pos);
+      const bool last_field = a + 1 == schema.num_attributes() && !has_label;
+      if (last_field) {
+        if (comma != std::string::npos) {
+          return Status::InvalidArgument(StringFormat(
+              "line %zu: too many fields", line_no));
+        }
+        comma = line.size();
+      } else if (comma == std::string::npos) {
+        if (a + 1 == schema.num_attributes() && has_label) {
+          return Status::InvalidArgument(StringFormat(
+              "line %zu: missing label field", line_no));
+        }
+        return Status::InvalidArgument(StringFormat(
+            "line %zu: expected %d numeric fields", line_no,
+            schema.num_attributes()));
+      }
+      auto value = ParseDouble(
+          std::string_view(line).substr(pos, comma - pos));
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StringFormat("line %zu, column %d: %s", line_no, a,
+                         value.status().message().c_str()));
+      }
+      row.push_back(*value);
+      pos = comma + 1;
+    }
+    rows.push_back(std::move(row));
+    if (has_label) {
+      labels.emplace_back(
+          TrimWhitespace(std::string_view(line).substr(
+              pos > line.size() ? line.size() : pos)));
+    }
+  }
+  return Dataset::Make(std::move(schema), std::move(rows),
+                       std::move(labels));
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsv(in);
+}
+
+Status WriteCsv(const Dataset& dataset, std::ostream& out) {
+  const Schema& schema = dataset.schema();
+  bool any_label = false;
+  for (const Tuple& t : dataset.tuples()) {
+    if (!t.label.empty()) {
+      any_label = true;
+      break;
+    }
+  }
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (a > 0) out << ',';
+    const AttributeSpec& spec = schema.attribute(a);
+    out << spec.name << ':'
+        << (spec.kind == AttributeKind::kKnown ? "known" : "crowd") << ':'
+        << (spec.direction == Direction::kMin ? "min" : "max");
+  }
+  if (any_label) out << ",label";
+  out << '\n';
+  for (const Tuple& t : dataset.tuples()) {
+    for (size_t a = 0; a < t.values.size(); ++a) {
+      if (a > 0) out << ',';
+      out << StringFormat("%.17g", t.values[a]);
+    }
+    if (any_label) out << ',' << t.label;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(dataset, out);
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,31 @@
+// CSV load/save for datasets, so users can bring their own relations to the
+// examples and the engine.
+//
+// Format: the first line is a header of `name:kind:direction` fields, e.g.
+//     width:known:max,height:known:max,area:crowd:max,label
+// An optional trailing `label` column carries tuple names. Remaining lines
+// are numeric rows. Crowd columns hold the hidden ground-truth values (use
+// 0 for "truly unknown"; they are only read by the simulated crowd).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Parses a dataset from CSV text.
+Result<Dataset> ReadCsv(std::istream& in);
+
+/// Parses a dataset from a CSV file on disk.
+Result<Dataset> ReadCsvFile(const std::string& path);
+
+/// Serializes a dataset to CSV text (inverse of ReadCsv).
+Status WriteCsv(const Dataset& dataset, std::ostream& out);
+
+/// Serializes a dataset to a CSV file on disk.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace crowdsky

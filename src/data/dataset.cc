@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace crowdsky {
+
+Result<Dataset> Dataset::Make(Schema schema,
+                              std::vector<std::vector<double>> rows,
+                              std::vector<std::string> labels) {
+  if (!labels.empty() && labels.size() != rows.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "label count (%zu) does not match row count (%zu)", labels.size(),
+        rows.size()));
+  }
+  std::vector<Tuple> tuples;
+  tuples.reserve(rows.size());
+  const auto width = static_cast<size_t>(schema.num_attributes());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != width) {
+      return Status::InvalidArgument(StringFormat(
+          "row %zu has %zu values, schema has %zu attributes", i,
+          rows[i].size(), width));
+    }
+    for (double v : rows[i]) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StringFormat("row %zu contains a non-finite value", i));
+      }
+    }
+    Tuple t;
+    t.id = static_cast<int>(i);
+    t.values = std::move(rows[i]);
+    if (!labels.empty()) t.label = std::move(labels[i]);
+    tuples.push_back(std::move(t));
+  }
+  return Dataset(std::move(schema), std::move(tuples));
+}
+
+Dataset Dataset::Project(const std::vector<int>& ids) const {
+  std::vector<Tuple> selected;
+  selected.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Tuple t = tuple(ids[i]);
+    t.id = static_cast<int>(i);
+    selected.push_back(std::move(t));
+  }
+  return Dataset(schema_, std::move(selected));
+}
+
+}  // namespace crowdsky

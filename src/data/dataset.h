@@ -1,0 +1,62 @@
+// Dataset: the base relation R of a crowd-enabled skyline query.
+//
+// Every tuple physically stores a value for *all* attributes, including the
+// crowd attributes. The crowd-attribute values are the hidden ground truth:
+// the machine-side algorithms never read them; only the simulated crowd
+// (src/crowd/) and the accuracy evaluation do. This matches the paper's
+// synthetic setup ("the values on crowd attributes were only used for
+// obtaining the answers of crowds").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace crowdsky {
+
+/// One row of the relation. `id` is the row's index within its Dataset.
+struct Tuple {
+  int id = -1;
+  std::string label;           ///< optional human-readable name
+  std::vector<double> values;  ///< one value per schema attribute
+};
+
+/// \brief An immutable relation instance: a Schema plus tuples.
+class Dataset {
+ public:
+  /// Validates that every row has schema-many finite values and assigns
+  /// sequential ids.
+  static Result<Dataset> Make(Schema schema,
+                              std::vector<std::vector<double>> rows,
+                              std::vector<std::string> labels = {});
+
+  const Schema& schema() const { return schema_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& tuple(int id) const {
+    CROWDSKY_DCHECK(id >= 0 && id < size());
+    return tuples_[static_cast<size_t>(id)];
+  }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Value of attribute `attr` (full-schema index) for tuple `id`.
+  double value(int id, int attr) const {
+    return tuple(id).values[static_cast<size_t>(attr)];
+  }
+
+  /// Returns a copy of this dataset restricted to the given tuple ids
+  /// (ids are re-assigned sequentially in the projection).
+  Dataset Project(const std::vector<int>& ids) const;
+
+ private:
+  Dataset(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace crowdsky

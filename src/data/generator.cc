@@ -1,0 +1,106 @@
+#include "data/generator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace crowdsky {
+
+const char* DataDistributionName(DataDistribution d) {
+  switch (d) {
+    case DataDistribution::kIndependent:
+      return "IND";
+    case DataDistribution::kAntiCorrelated:
+      return "ANT";
+    case DataDistribution::kCorrelated:
+      return "COR";
+  }
+  return "?";
+}
+
+namespace {
+
+double ClippedGaussian(Rng* rng, double mean, double stddev) {
+  double v;
+  do {
+    v = rng->Gaussian(mean, stddev);
+  } while (v < 0.0 || v >= 1.0);
+  return v;
+}
+
+std::vector<double> IndependentPoint(Rng* rng, int dims) {
+  std::vector<double> x(static_cast<size_t>(dims));
+  for (double& v : x) v = rng->NextDouble();
+  return x;
+}
+
+// Anti-correlated point per the Börzsönyi generator: start from a common
+// plane value, then move mass between random coordinate pairs so the sum is
+// preserved. Points end up scattered around the hyperplane sum(x) = d * c;
+// the tight plane spread (sigma = 0.05) keeps most point pairs mutually
+// incomparable, which is what blows up anti-correlated skylines.
+std::vector<double> AntiCorrelatedPoint(Rng* rng, int dims) {
+  const double c = ClippedGaussian(rng, 0.5, 0.05);
+  std::vector<double> x(static_cast<size_t>(dims), c);
+  if (dims < 2) return x;
+  const int transfers = 2 * dims;
+  for (int k = 0; k < transfers; ++k) {
+    const auto i =
+        static_cast<size_t>(rng->NextBounded(static_cast<uint64_t>(dims)));
+    auto j =
+        static_cast<size_t>(rng->NextBounded(static_cast<uint64_t>(dims)));
+    if (i == j) continue;
+    const double room = std::min(x[i], 1.0 - x[j]);
+    if (room <= 0.0) continue;
+    const double delta = rng->Uniform(0.0, room);
+    x[i] -= delta;
+    x[j] += delta;
+  }
+  return x;
+}
+
+std::vector<double> CorrelatedPoint(Rng* rng, int dims) {
+  const double c = ClippedGaussian(rng, 0.5, 0.25 / 3.0);
+  std::vector<double> x(static_cast<size_t>(dims));
+  for (double& v : x) {
+    v = std::clamp(c + rng->Gaussian(0.0, 0.05), 0.0, 1.0 - 1e-12);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateDataset(const GeneratorOptions& options) {
+  if (options.cardinality <= 0) {
+    return Status::InvalidArgument(
+        StringFormat("cardinality must be positive, got %d",
+                     options.cardinality));
+  }
+  if (options.num_known < 0 || options.num_crowd < 0 ||
+      options.num_known + options.num_crowd == 0) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  const int dims = options.num_known + options.num_crowd;
+  Schema schema = Schema::MakeSynthetic(options.num_known, options.num_crowd,
+                                        options.direction);
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<size_t>(options.cardinality));
+  for (int i = 0; i < options.cardinality; ++i) {
+    switch (options.distribution) {
+      case DataDistribution::kIndependent:
+        rows.push_back(IndependentPoint(&rng, dims));
+        break;
+      case DataDistribution::kAntiCorrelated:
+        rows.push_back(AntiCorrelatedPoint(&rng, dims));
+        break;
+      case DataDistribution::kCorrelated:
+        rows.push_back(CorrelatedPoint(&rng, dims));
+        break;
+    }
+  }
+  return Dataset::Make(std::move(schema), std::move(rows));
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,48 @@
+// Synthetic data generators following the classic skyline benchmark of
+// Börzsönyi, Kossmann & Stocker (ICDE 2001), which is what the paper's
+// synthetic evaluation uses (Section 6.1, Table 4). Three distributions:
+//
+//  * independent (IND):      every coordinate uniform in [0, 1)
+//  * anti-correlated (ANT):  points near the hyperplane sum(x) = d/2; good
+//                            in one dimension implies bad in another, which
+//                            blows up the skyline size
+//  * correlated (COR):       coordinates clustered around a shared quality
+//                            value; tiny skylines (bonus beyond the paper)
+//
+// Crowd-attribute values are generated exactly like known ones; they serve
+// as the hidden ground truth for the simulated crowd.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Data distribution of the synthetic generator.
+enum class DataDistribution {
+  kIndependent,
+  kAntiCorrelated,
+  kCorrelated,
+};
+
+/// Short display name ("IND", "ANT", "COR").
+const char* DataDistributionName(DataDistribution d);
+
+/// Parameters of a synthetic dataset (paper Table 4).
+struct GeneratorOptions {
+  int cardinality = 4000;  ///< n, number of tuples
+  int num_known = 4;       ///< |AK|
+  int num_crowd = 1;       ///< |AC|
+  DataDistribution distribution = DataDistribution::kIndependent;
+  uint64_t seed = 42;
+  /// Preference direction applied to every attribute (the paper uses MIN).
+  Direction direction = Direction::kMin;
+};
+
+/// Generates a synthetic dataset. Fails on non-positive cardinality or a
+/// schema with no attributes.
+Result<Dataset> GenerateDataset(const GeneratorOptions& options);
+
+}  // namespace crowdsky

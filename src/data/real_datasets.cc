@@ -1,0 +1,195 @@
+#include "data/real_datasets.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace crowdsky {
+namespace {
+
+Schema MakeSchemaOrDie(std::vector<AttributeSpec> specs) {
+  auto schema = Schema::Make(std::move(specs));
+  schema.status().CheckOK();
+  return std::move(schema).ValueOrDie();
+}
+
+Dataset MakeDatasetOrDie(Schema schema, std::vector<std::vector<double>> rows,
+                         std::vector<std::string> labels) {
+  auto ds =
+      Dataset::Make(std::move(schema), std::move(rows), std::move(labels));
+  ds.status().CheckOK();
+  return std::move(ds).ValueOrDie();
+}
+
+}  // namespace
+
+Dataset MakeRectanglesDataset(uint64_t seed) {
+  Schema schema = MakeSchemaOrDie({
+      {"bbox_width", Direction::kMax, AttributeKind::kKnown},
+      {"bbox_height", Direction::kMax, AttributeKind::kKnown},
+      {"area", Direction::kMax, AttributeKind::kCrowd},
+  });
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 50; ++i) {
+    const double w = 30.0 + 3.0 * i;
+    const double h = 40.0 + 5.0 * i;
+    // Random rotation in [0, pi/2); the displayed bounding box is what a
+    // worker (and the known attributes) would "see".
+    const double theta = rng.Uniform(0.0, 1.5707963267948966);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double bbox_w = w * c + h * s;
+    const double bbox_h = w * s + h * c;
+    rows.push_back({bbox_w, bbox_h, w * h});
+    labels.push_back(StringFormat("rect_%02d", i));
+  }
+  return MakeDatasetOrDie(std::move(schema), std::move(rows),
+                          std::move(labels));
+}
+
+Dataset MakeMoviesDataset() {
+  Schema schema = MakeSchemaOrDie({
+      {"box_office", Direction::kMax, AttributeKind::kKnown},
+      {"year", Direction::kMax, AttributeKind::kKnown},
+      {"rating", Direction::kMax, AttributeKind::kCrowd},
+  });
+  // {worldwide gross $M, release year, IMDb-style rating (hidden)}.
+  struct Movie {
+    const char* title;
+    double gross;
+    double year;
+    double rating;
+  };
+  static const Movie kMovies[] = {
+      {"Avatar", 2788, 2009, 7.9},
+      {"The Avengers", 1519, 2012, 8.1},
+      {"Inception", 836, 2010, 8.8},
+      {"The Lord of the Rings: The Fellowship of the Ring", 898, 2001, 8.8},
+      {"The Dark Knight Rises", 1081, 2012, 8.4},
+      {"Harry Potter and the Deathly Hallows Part 2", 1342, 2011, 8.1},
+      {"Transformers: Dark of the Moon", 1124, 2011, 6.2},
+      {"Skyfall", 1109, 2012, 7.8},
+      {"Toy Story 3", 1067, 2010, 8.3},
+      {"Pirates of the Caribbean: Dead Man's Chest", 1066, 2006, 7.3},
+      {"Alice in Wonderland", 1025, 2010, 6.4},
+      {"Pirates of the Caribbean: On Stranger Tides", 1046, 2011, 6.6},
+      {"Harry Potter and the Sorcerer's Stone", 975, 2001, 7.6},
+      {"Pirates of the Caribbean: At World's End", 961, 2007, 7.1},
+      {"Harry Potter and the Deathly Hallows Part 1", 960, 2010, 7.7},
+      {"The Hobbit: An Unexpected Journey", 1017, 2012, 7.8},
+      {"Harry Potter and the Order of the Phoenix", 942, 2007, 7.5},
+      {"Harry Potter and the Half-Blood Prince", 934, 2009, 7.6},
+      {"Shrek 2", 928, 2004, 7.3},
+      {"Harry Potter and the Goblet of Fire", 897, 2005, 7.7},
+      {"Spider-Man 3", 891, 2007, 6.3},
+      {"Ice Age: Dawn of the Dinosaurs", 886, 2009, 6.9},
+      {"Harry Potter and the Chamber of Secrets", 879, 2002, 7.4},
+      {"Ice Age: Continental Drift", 877, 2012, 6.5},
+      {"Finding Nemo", 871, 2003, 8.2},
+      {"The Twilight Saga: Breaking Dawn Part 2", 829, 2012, 5.5},
+      {"Spider-Man", 825, 2002, 7.4},
+      {"Shrek the Third", 813, 2007, 6.1},
+      {"Harry Potter and the Prisoner of Azkaban", 797, 2004, 7.9},
+      {"Spider-Man 2", 789, 2004, 7.5},
+      {"The Amazing Spider-Man", 758, 2012, 6.9},
+      {"Shrek Forever After", 753, 2010, 6.3},
+      {"Madagascar 3: Europe's Most Wanted", 747, 2012, 6.8},
+      {"Up", 735, 2009, 8.3},
+      {"The Twilight Saga: Breaking Dawn Part 1", 712, 2011, 4.9},
+      {"Mission: Impossible - Ghost Protocol", 695, 2011, 7.4},
+      {"The Hunger Games", 694, 2012, 7.2},
+      {"Kung Fu Panda 2", 665, 2011, 7.2},
+      {"Kung Fu Panda", 632, 2008, 7.6},
+      {"Men in Black 3", 624, 2012, 6.8},
+      {"Ratatouille", 624, 2007, 8.1},
+      {"Casino Royale", 599, 2006, 8.0},
+      {"Iron Man", 585, 2008, 7.9},
+      {"Monsters, Inc.", 528, 2001, 8.1},
+      {"WALL-E", 521, 2008, 8.4},
+      {"Gladiator", 460, 2000, 8.5},
+      {"The Bourne Ultimatum", 444, 2007, 8.0},
+      {"Batman Begins", 373, 2005, 8.2},
+      {"The Departed", 291, 2006, 8.5},
+      {"The Prestige", 109, 2006, 8.5},
+  };
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> labels;
+  for (const Movie& m : kMovies) {
+    rows.push_back({m.gross, m.year, m.rating});
+    labels.emplace_back(m.title);
+  }
+  return MakeDatasetOrDie(std::move(schema), std::move(rows),
+                          std::move(labels));
+}
+
+Dataset MakeMlbPitchersDataset() {
+  Schema schema = MakeSchemaOrDie({
+      {"wins", Direction::kMax, AttributeKind::kKnown},
+      {"strikeouts", Direction::kMax, AttributeKind::kKnown},
+      {"era", Direction::kMin, AttributeKind::kKnown},
+      {"valuable", Direction::kMax, AttributeKind::kCrowd},
+  });
+  // {wins, strikeouts, ERA, WAR-like value (hidden)} — 2013 season.
+  struct Pitcher {
+    const char* name;
+    double wins;
+    double so;
+    double era;
+    double value;
+  };
+  static const Pitcher kPitchers[] = {
+      {"Clayton Kershaw", 16, 232, 1.83, 7.8},
+      {"Max Scherzer", 21, 240, 2.90, 6.4},
+      {"Yu Darvish", 13, 277, 2.83, 5.6},
+      {"Bartolo Colon", 18, 117, 2.65, 5.7},
+      {"Adam Wainwright", 19, 219, 2.94, 6.2},
+      {"Anibal Sanchez", 14, 202, 2.57, 6.2},
+      {"Matt Harvey", 9, 191, 2.27, 6.1},
+      {"Jose Fernandez", 12, 187, 2.19, 6.3},
+      {"Cliff Lee", 14, 222, 2.87, 5.2},
+      {"Chris Sale", 11, 226, 3.07, 6.9},
+      {"Felix Hernandez", 12, 216, 3.04, 6.0},
+      {"Jordan Zimmermann", 19, 161, 3.25, 3.6},
+      {"Hisashi Iwakuma", 14, 185, 2.66, 5.6},
+      {"Zack Greinke", 15, 148, 2.63, 3.4},
+      {"Justin Verlander", 13, 217, 3.46, 5.2},
+      {"James Shields", 13, 196, 3.15, 4.1},
+      {"Jon Lester", 15, 177, 3.75, 4.3},
+      {"David Price", 10, 151, 3.33, 2.9},
+      {"Madison Bumgarner", 13, 199, 2.77, 3.8},
+      {"Cole Hamels", 8, 202, 3.60, 4.5},
+      {"Homer Bailey", 11, 199, 3.49, 3.4},
+      {"Gio Gonzalez", 11, 192, 3.36, 3.0},
+      {"Stephen Strasburg", 8, 191, 3.00, 3.1},
+      {"Julio Teheran", 14, 170, 3.20, 3.1},
+      {"Mat Latos", 14, 187, 3.16, 3.4},
+      {"Shelby Miller", 15, 169, 3.06, 3.2},
+      {"Patrick Corbin", 14, 178, 3.41, 3.9},
+      {"Jhoulys Chacin", 14, 126, 3.47, 3.8},
+      {"Ervin Santana", 9, 161, 3.24, 3.1},
+      {"Doug Fister", 14, 159, 3.67, 4.2},
+      {"Rick Porcello", 13, 142, 4.32, 2.6},
+      {"CC Sabathia", 14, 175, 4.78, 1.3},
+      {"R.A. Dickey", 14, 177, 4.21, 2.0},
+      {"Jeff Samardzija", 8, 214, 4.34, 2.4},
+      {"A.J. Burnett", 10, 209, 3.30, 3.0},
+      {"Lance Lynn", 15, 198, 3.97, 2.3},
+      {"Kris Medlen", 15, 157, 3.11, 2.4},
+      {"Hyun-jin Ryu", 14, 154, 3.00, 3.0},
+      {"C.J. Wilson", 17, 188, 3.39, 2.9},
+      {"Francisco Liriano", 16, 163, 3.02, 3.0},
+  };
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> labels;
+  for (const Pitcher& p : kPitchers) {
+    rows.push_back({p.wins, p.so, p.era, p.value});
+    labels.emplace_back(p.name);
+  }
+  return MakeDatasetOrDie(std::move(schema), std::move(rows),
+                          std::move(labels));
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,36 @@
+// The three real-life workloads of Section 6.2 (Q1/Q2/Q3), rebuilt as
+// embedded datasets so the AMT experiments can be reproduced offline with
+// the simulated crowd. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Q1 — Rectangles (adopted from Marcus et al. [14] as in the paper):
+/// 50 rectangles of size {(30+3i) x (40+5i) | i in [0,50)}, each randomly
+/// rotated. The machine sees the rotated bounding box
+/// (AK = {bbox_width MAX, bbox_height MAX}); the crowd judges the true
+/// area (AC = {area MAX}), for which exact ground truth exists — this is
+/// the query whose accuracy the paper measures exactly (P = R = 1.0).
+Dataset MakeRectanglesDataset(uint64_t seed = 7);
+
+/// Q2 — Movies: 50 popular movies released 2000-2012.
+/// AK = {box_office MAX ($M, worldwide), year MAX}; AC = {rating MAX} with
+/// IMDb ratings as the hidden ground truth. The ground-truth skyline is the
+/// paper's crowdsourced skyline: {Avatar, The Avengers, Inception, The Lord
+/// of the Rings: The Fellowship of the Ring, The Dark Knight Rises}; the
+/// first two are already the AK skyline.
+Dataset MakeMoviesDataset();
+
+/// Q3 — MLB pitchers: 40 starting pitchers of the 2013 season.
+/// AK = {wins MAX, strikeouts MAX, era MIN}; AC = {valuable MAX} with a
+/// WAR-like value score as hidden ground truth. The ground-truth skyline is
+/// {Clayton Kershaw, Bartolo Colon, Yu Darvish, Max Scherzer} — all 2013
+/// Cy Young candidates, with Kershaw and Scherzer the actual winners,
+/// matching the paper's validation.
+Dataset MakeMlbPitchersDataset();
+
+}  // namespace crowdsky

@@ -1,0 +1,59 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace crowdsky {
+
+Schema::Schema(std::vector<AttributeSpec> attributes)
+    : attributes_(std::move(attributes)) {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[static_cast<size_t>(i)].kind == AttributeKind::kKnown) {
+      known_indices_.push_back(i);
+    } else {
+      crowd_indices_.push_back(i);
+    }
+  }
+}
+
+Result<Schema> Schema::Make(std::vector<AttributeSpec> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::unordered_set<std::string> names;
+  for (const AttributeSpec& spec : attributes) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!names.insert(spec.name).second) {
+      return Status::AlreadyExists("duplicate attribute name: " + spec.name);
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Schema Schema::MakeSynthetic(int num_known, int num_crowd, Direction dir) {
+  CROWDSKY_CHECK(num_known >= 0 && num_crowd >= 0 &&
+                 num_known + num_crowd > 0);
+  std::vector<AttributeSpec> specs;
+  specs.reserve(static_cast<size_t>(num_known + num_crowd));
+  for (int i = 0; i < num_known; ++i) {
+    specs.push_back({StringFormat("K%d", i + 1), dir, AttributeKind::kKnown});
+  }
+  for (int i = 0; i < num_crowd; ++i) {
+    specs.push_back({StringFormat("C%d", i + 1), dir, AttributeKind::kCrowd});
+  }
+  auto result = Make(std::move(specs));
+  result.status().CheckOK();
+  return std::move(result).ValueOrDie();
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,93 @@
+// Schema: attribute metadata for a skyline relation.
+//
+// Attributes are partitioned into *known* attributes (AK — values present
+// in the data, compared by machine) and *crowd* attributes (AC — values
+// missing from the machine's point of view; preferences between tuples on
+// these attributes must be obtained from crowd workers). This mirrors
+// Section 2.2 of the paper. Each attribute also carries a preference
+// direction: the paper assumes "smaller is better" throughout; real queries
+// (Section 6.2) need MAX and mixed directions, so the direction is explicit
+// here and the dominance tests honour it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace crowdsky {
+
+/// Preference direction of an attribute.
+enum class Direction {
+  kMin,  ///< smaller values are preferred
+  kMax,  ///< larger values are preferred
+};
+
+/// Whether an attribute's values are machine-known or crowd-assessed.
+enum class AttributeKind {
+  kKnown,  ///< in AK: values present, machine-comparable
+  kCrowd,  ///< in AC: values hidden; preferences come from the crowd
+};
+
+/// Declaration of a single attribute.
+struct AttributeSpec {
+  std::string name;
+  Direction direction = Direction::kMin;
+  AttributeKind kind = AttributeKind::kKnown;
+};
+
+/// \brief Immutable attribute layout of a dataset.
+///
+/// Construct through Make(), which validates that names are unique and
+/// non-empty and that at least one attribute exists.
+class Schema {
+ public:
+  /// Validates specs and builds a schema.
+  static Result<Schema> Make(std::vector<AttributeSpec> attributes);
+
+  /// Convenience factory: `num_known` known + `num_crowd` crowd attributes,
+  /// all with direction `dir`, named K1..Kn / C1..Cm. Used by the synthetic
+  /// experiments.
+  static Schema MakeSynthetic(int num_known, int num_crowd,
+                              Direction dir = Direction::kMin);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_known() const { return static_cast<int>(known_indices_.size()); }
+  int num_crowd() const { return static_cast<int>(crowd_indices_.size()); }
+
+  const AttributeSpec& attribute(int i) const {
+    return attributes_[static_cast<size_t>(i)];
+  }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Indices (into the full attribute list) of known attributes, in order.
+  const std::vector<int>& known_indices() const { return known_indices_; }
+  /// Indices of crowd attributes, in order.
+  const std::vector<int>& crowd_indices() const { return crowd_indices_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    if (attributes_.size() != other.attributes_.size()) return false;
+    for (size_t i = 0; i < attributes_.size(); ++i) {
+      const AttributeSpec& a = attributes_[i];
+      const AttributeSpec& b = other.attributes_[i];
+      if (a.name != b.name || a.direction != b.direction ||
+          a.kind != b.kind) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  explicit Schema(std::vector<AttributeSpec> attributes);
+
+  std::vector<AttributeSpec> attributes_;
+  std::vector<int> known_indices_;
+  std::vector<int> crowd_indices_;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,70 @@
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+Schema ToySchema() {
+  auto schema = Schema::Make({
+      {"A1", Direction::kMin, AttributeKind::kKnown},
+      {"A2", Direction::kMin, AttributeKind::kKnown},
+      {"A3", Direction::kMin, AttributeKind::kCrowd},
+  });
+  schema.status().CheckOK();
+  return std::move(schema).ValueOrDie();
+}
+
+}  // namespace
+
+int ToyId(char label) {
+  CROWDSKY_CHECK(label >= 'a' && label <= 'l');
+  return label - 'a';
+}
+
+Dataset MakeToyDataset() {
+  // AK values from Figure 1(a). The hidden A3 values (smaller = more
+  // preferred) realize the total order f < h < k < e < i < b < l < j < a <
+  // c < d < g, which is consistent with every edge the paper derives:
+  // b<a, e<{b,c,d,g}, f<{b,e,j}, h<{e,i}, i<l, k<i.
+  std::vector<std::vector<double>> rows = {
+      /* a */ {2, 8, 9},
+      /* b */ {1, 6, 6},
+      /* c */ {4, 10, 10},
+      /* d */ {5, 7, 11},
+      /* e */ {4, 4, 4},
+      /* f */ {5, 9, 1},
+      /* g */ {6, 5, 12},
+      /* h */ {7, 7, 2},
+      /* i */ {7, 2, 5},
+      /* j */ {8, 9, 8},
+      /* k */ {9, 3, 3},
+      /* l */ {9, 1, 7},
+  };
+  std::vector<std::string> labels = {"a", "b", "c", "d", "e", "f",
+                                     "g", "h", "i", "j", "k", "l"};
+  auto ds = Dataset::Make(ToySchema(), std::move(rows), std::move(labels));
+  ds.status().CheckOK();
+  return std::move(ds).ValueOrDie();
+}
+
+Dataset MakeAntiCorrelatedToyDataset() {
+  // AK values from Figure 3(a); e dominates every other tuple in AC.
+  std::vector<std::vector<double>> rows = {
+      /* a */ {5, 10, 5},
+      /* b */ {2, 5, 2},
+      /* c */ {6, 9, 6},
+      /* d */ {8, 7, 7},
+      /* e */ {3, 4, 1},
+      /* f */ {7, 8, 8},
+      /* g */ {9, 6, 9},
+      /* h */ {10, 5, 10},
+      /* i */ {4, 2, 3},
+      /* j */ {5, 1, 4},
+  };
+  std::vector<std::string> labels = {"a", "b", "c", "d", "e",
+                                     "f", "g", "h", "i", "j"};
+  auto ds = Dataset::Make(ToySchema(), std::move(rows), std::move(labels));
+  ds.status().CheckOK();
+  return std::move(ds).ValueOrDie();
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,24 @@
+// The paper's two worked toy datasets, used by the walkthrough bench and by
+// the tests that assert Tables 1-3 and Examples 2-8 literally.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Figure 1's 12-tuple dataset: AK = {A1, A2} (smaller preferred),
+/// AC = {A3}. The hidden A3 values realize the preference tree of
+/// Figure 1(b)/Figure 4(b); the full-A skyline is {b, e, i, l, k, f, h}
+/// and the AK skyline is {b, e, i, l}. Tuple ids 0..11 correspond to
+/// labels "a".."l".
+Dataset MakeToyDataset();
+
+/// Figure 3's anti-correlated 10-tuple dataset: AK = {A1, A2}, AC = {A3},
+/// with e the most preferred tuple in AC (it dominates everything there,
+/// as in the probing discussion of Section 3.4). Ids 0..9 are "a".."j".
+Dataset MakeAntiCorrelatedToyDataset();
+
+/// Id of the tuple labelled `label` ("a".."l") in the toy datasets.
+int ToyId(char label);
+
+}  // namespace crowdsky

@@ -1,0 +1,68 @@
+#include "skyline/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdsky {
+
+std::vector<int> ComputeSkylineBNL(const PreferenceMatrix& m) {
+  std::vector<int> window;
+  for (int t = 0; t < m.size(); ++t) {
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t i = 0; i < window.size(); ++i) {
+      const int w = window[i];
+      const PartialOrder order = m.Compare(w, t);
+      if (order == PartialOrder::kDominates) {
+        dominated = true;
+        // Tuples after i cannot be dominated by t (they are mutually
+        // incomparable with w... not guaranteed; but since t is dominated
+        // it will not enter the window, so the rest of the window is kept
+        // as-is).
+        keep = window.size();
+        break;
+      }
+      if (order == PartialOrder::kDominatedBy) {
+        continue;  // w is dominated by t; drop it
+      }
+      window[keep++] = w;
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(t);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+std::vector<int> ComputeSkylineSFS(const PreferenceMatrix& m) {
+  // Sort by a monotone score: if s dominates t then Score(s) < Score(t),
+  // so no tuple can be dominated by a later one — the window only grows.
+  std::vector<int> order(static_cast<size_t>(m.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> score(order.size());
+  for (int id = 0; id < m.size(); ++id) {
+    score[static_cast<size_t>(id)] = m.Score(id);
+  }
+  std::stable_sort(order.begin(), order.end(), [&score](int a, int b) {
+    return score[static_cast<size_t>(a)] < score[static_cast<size_t>(b)];
+  });
+  std::vector<int> skyline;
+  for (const int t : order) {
+    bool dominated = false;
+    for (const int s : skyline) {
+      if (m.Dominates(s, t)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(t);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<int> ComputeGroundTruthSkyline(const Dataset& dataset) {
+  return ComputeSkylineSFS(PreferenceMatrix::FromAll(dataset));
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,77 @@
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+
+PreferenceMatrix::PreferenceMatrix(const Dataset& dataset,
+                                   const std::vector<int>& attrs)
+    : n_(dataset.size()), d_(static_cast<int>(attrs.size())) {
+  values_.resize(static_cast<size_t>(n_) * static_cast<size_t>(d_));
+  const Schema& schema = dataset.schema();
+  for (int id = 0; id < n_; ++id) {
+    double* out =
+        values_.data() + static_cast<size_t>(id) * static_cast<size_t>(d_);
+    for (int k = 0; k < d_; ++k) {
+      const int attr = attrs[static_cast<size_t>(k)];
+      const double v = dataset.value(id, attr);
+      out[k] =
+          schema.attribute(attr).direction == Direction::kMin ? v : -v;
+    }
+  }
+}
+
+PreferenceMatrix PreferenceMatrix::FromAll(const Dataset& dataset) {
+  std::vector<int> attrs(
+      static_cast<size_t>(dataset.schema().num_attributes()));
+  for (size_t i = 0; i < attrs.size(); ++i) attrs[i] = static_cast<int>(i);
+  return PreferenceMatrix(dataset, attrs);
+}
+
+PreferenceMatrix PreferenceMatrix::FromRaw(int n, int d,
+                                           std::vector<double> values) {
+  CROWDSKY_CHECK(n >= 0 && d >= 0 &&
+                 values.size() ==
+                     static_cast<size_t>(n) * static_cast<size_t>(d));
+  PreferenceMatrix m;
+  m.n_ = n;
+  m.d_ = d;
+  m.values_ = std::move(values);
+  return m;
+}
+
+PartialOrder PreferenceMatrix::Compare(int s, int t) const {
+  const double* a = row(s);
+  const double* b = row(t);
+  bool s_better = false;
+  bool t_better = false;
+  for (int k = 0; k < d_; ++k) {
+    if (a[k] < b[k]) {
+      s_better = true;
+    } else if (a[k] > b[k]) {
+      t_better = true;
+    }
+    if (s_better && t_better) return PartialOrder::kIncomparable;
+  }
+  if (s_better) return PartialOrder::kDominates;
+  if (t_better) return PartialOrder::kDominatedBy;
+  return PartialOrder::kEqual;
+}
+
+bool PreferenceMatrix::Dominates(int s, int t) const {
+  const double* a = row(s);
+  const double* b = row(t);
+  bool strict = false;
+  for (int k = 0; k < d_; ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strict = true;
+  }
+  return strict;
+}
+
+double PreferenceMatrix::Score(int id) const {
+  const double* a = row(id);
+  double sum = 0.0;
+  for (int k = 0; k < d_; ++k) sum += a[k];
+  return sum;
+}
+
+}  // namespace crowdsky

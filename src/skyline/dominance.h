@@ -1,0 +1,82 @@
+// Machine-side dominance primitives (Definitions 1-3 of the paper).
+//
+// PreferenceMatrix normalizes a subset of a dataset's attributes into a
+// dense row-major matrix in which *smaller is always preferred* (MAX
+// attributes are negated on ingestion), so every comparison downstream is a
+// tight branch-free-ish loop regardless of the schema's directions.
+#pragma once
+
+#include <vector>
+
+#include "common/macros.h"
+#include "data/dataset.h"
+
+namespace crowdsky {
+
+/// Outcome of comparing two tuples under a (partial) preference order.
+enum class PartialOrder {
+  kDominates,     ///< first tuple dominates second
+  kDominatedBy,   ///< second tuple dominates first
+  kEqual,         ///< identical on every compared attribute
+  kIncomparable,  ///< each is strictly better somewhere
+};
+
+/// \brief Direction-normalized view of selected attributes of a dataset.
+class PreferenceMatrix {
+ public:
+  /// Normalizes the given attribute indices of `dataset`.
+  PreferenceMatrix(const Dataset& dataset, const std::vector<int>& attrs);
+
+  /// View of the known attributes AK.
+  static PreferenceMatrix FromKnown(const Dataset& dataset) {
+    return PreferenceMatrix(dataset, dataset.schema().known_indices());
+  }
+  /// View of the crowd attributes AC (their hidden ground-truth values);
+  /// used only by the simulated crowd and by accuracy evaluation.
+  static PreferenceMatrix FromCrowd(const Dataset& dataset) {
+    return PreferenceMatrix(dataset, dataset.schema().crowd_indices());
+  }
+  /// View of all attributes (ground-truth skyline).
+  static PreferenceMatrix FromAll(const Dataset& dataset);
+
+  /// Wraps an already-normalized row-major matrix (smaller preferred).
+  /// Used by the sort-based baselines, whose crowd columns are ranks.
+  static PreferenceMatrix FromRaw(int n, int d, std::vector<double> values);
+
+  int size() const { return n_; }
+  int dims() const { return d_; }
+
+  /// Row pointer (d() normalized values, smaller preferred).
+  const double* row(int id) const {
+    CROWDSKY_DCHECK(id >= 0 && id < n_);
+    return values_.data() + static_cast<size_t>(id) * static_cast<size_t>(d_);
+  }
+
+  /// Normalized value of tuple `id` on compared-attribute `k` (position in
+  /// the attrs list, not the schema index).
+  double value(int id, int k) const { return row(id)[k]; }
+
+  /// Full pairwise classification of s vs t.
+  PartialOrder Compare(int s, int t) const;
+
+  /// True iff s strictly dominates t (Definition 1).
+  bool Dominates(int s, int t) const;
+
+  /// True iff s and t are identical on every compared attribute.
+  bool EqualRows(int s, int t) const {
+    return Compare(s, t) == PartialOrder::kEqual;
+  }
+
+  /// Sum of a row's normalized values — a monotone score usable as an SFS
+  /// sort key (if s dominates t then Score(s) < Score(t)).
+  double Score(int id) const;
+
+ private:
+  PreferenceMatrix() = default;
+
+  int n_ = 0;
+  int d_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace crowdsky

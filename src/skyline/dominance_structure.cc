@@ -1,0 +1,83 @@
+#include "skyline/dominance_structure.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdsky {
+
+DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
+    : n_(known.size()) {
+  const auto un = static_cast<size_t>(n_);
+  dominatees_.assign(un, DynamicBitset(un));
+  dominators_.assign(un, DynamicBitset(un));
+  ds_size_.assign(un, 0);
+  layer_of_.assign(un, 0);
+  direct_dominators_.resize(un);
+
+  // Score-sorted sweep: if a dominates b then Score(a) < Score(b), so only
+  // the earlier tuple of each sorted pair needs testing.
+  std::vector<int> order(un);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> score(un);
+  for (int id = 0; id < n_; ++id) {
+    score[static_cast<size_t>(id)] = known.Score(id);
+  }
+  std::stable_sort(order.begin(), order.end(), [&score](int a, int b) {
+    return score[static_cast<size_t>(a)] < score[static_cast<size_t>(b)];
+  });
+  for (size_t i = 0; i < un; ++i) {
+    const int a = order[i];
+    for (size_t j = i + 1; j < un; ++j) {
+      const int b = order[j];
+      if (known.Dominates(a, b)) {
+        dominatees_[static_cast<size_t>(a)].Set(static_cast<size_t>(b));
+        dominators_[static_cast<size_t>(b)].Set(static_cast<size_t>(a));
+        ++ds_size_[static_cast<size_t>(b)];
+      }
+    }
+  }
+
+  evaluation_order_.assign(order.begin(), order.end());
+  std::stable_sort(evaluation_order_.begin(), evaluation_order_.end(),
+                   [this](int a, int b) {
+                     const int sa = ds_size_[static_cast<size_t>(a)];
+                     const int sb = ds_size_[static_cast<size_t>(b)];
+                     if (sa != sb) return sa < sb;
+                     return a < b;
+                   });
+
+  for (int t = 0; t < n_; ++t) {
+    if (ds_size_[static_cast<size_t>(t)] == 0) known_skyline_.push_back(t);
+  }
+
+  // Layers via longest dominance chains: layer(t) = 1 + max layer among
+  // dominators. evaluation_order_ is a topological order (Lemma 3), so a
+  // single pass suffices.
+  for (const int t : evaluation_order_) {
+    int max_layer = 0;
+    dominators_[static_cast<size_t>(t)].ForEachSetBit([&](size_t s) {
+      max_layer = std::max(max_layer, layer_of_[s]);
+    });
+    layer_of_[static_cast<size_t>(t)] = max_layer + 1;
+    num_layers_ = std::max(num_layers_, max_layer + 1);
+  }
+  layers_.resize(static_cast<size_t>(num_layers_));
+  for (int t = 0; t < n_; ++t) {
+    layers_[static_cast<size_t>(layer_of_[static_cast<size_t>(t)] - 1)]
+        .push_back(t);
+  }
+
+  // Direct dominators (transitive reduction): s in c(t) iff s dominates t
+  // and dominates no other dominator of t.
+  for (int t = 0; t < n_; ++t) {
+    const DynamicBitset& ds_bits = dominators_[static_cast<size_t>(t)];
+    ds_bits.ForEachSetBit([&](size_t s) {
+      if (!dominatees_[s].Intersects(ds_bits)) {
+        direct_dominators_[static_cast<size_t>(t)].push_back(
+            static_cast<int>(s));
+      }
+    });
+  }
+}
+
+}  // namespace crowdsky

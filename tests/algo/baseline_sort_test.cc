@@ -1,0 +1,141 @@
+#include "algo/baseline_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crowd/oracle.h"
+#include "data/generator.h"
+#include "data/toy.h"
+#include "skyline/algorithms.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset RandomDataset(int n, int mc, uint64_t seed) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = 2;
+  opt.num_crowd = mc;
+  opt.seed = seed;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+bool IsSortedByHiddenValue(const Dataset& ds, const std::vector<int>& order,
+                           int attr) {
+  const PreferenceMatrix crowd = PreferenceMatrix::FromCrowd(ds);
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (crowd.value(order[i - 1], attr) > crowd.value(order[i], attr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TournamentSortTest, ProducesCorrectTotalOrder) {
+  const Dataset ds = RandomDataset(100, 1, 3);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const BaselineResult r = RunBaselineSort(ds, &session);
+  ASSERT_EQ(r.orders.size(), 1u);
+  ASSERT_EQ(r.orders[0].size(), 100u);
+  EXPECT_TRUE(IsSortedByHiddenValue(ds, r.orders[0], 0));
+}
+
+TEST(TournamentSortTest, QuestionCountIsNLogNish) {
+  const int n = 256;
+  const Dataset ds = RandomDataset(n, 1, 5);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const BaselineResult r = RunBaselineSort(ds, &session);
+  const double nlogn = n * std::log2(n);
+  EXPECT_GE(r.questions, n - 1);
+  EXPECT_LE(static_cast<double>(r.questions), 1.2 * nlogn);
+}
+
+TEST(TournamentSortTest, NonPowerOfTwoSizes) {
+  for (const int n : {1, 2, 3, 5, 17, 33, 100}) {
+    const Dataset ds = RandomDataset(n, 1, 7);
+    PerfectOracle oracle(ds);
+    CrowdSession session(&oracle);
+    const BaselineResult r = RunBaselineSort(ds, &session);
+    ASSERT_EQ(static_cast<int>(r.orders[0].size()), n) << n;
+    EXPECT_TRUE(IsSortedByHiddenValue(ds, r.orders[0], 0)) << n;
+  }
+}
+
+TEST(TournamentSortTest, MultipleCrowdAttributes) {
+  const Dataset ds = RandomDataset(40, 2, 9);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const BaselineResult r = RunBaselineSort(ds, &session);
+  ASSERT_EQ(r.orders.size(), 2u);
+  EXPECT_TRUE(IsSortedByHiddenValue(ds, r.orders[0], 0));
+  EXPECT_TRUE(IsSortedByHiddenValue(ds, r.orders[1], 1));
+}
+
+TEST(TournamentSortTest, SkylineMatchesGroundTruth) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Dataset ds = RandomDataset(120, 1, seed);
+    PerfectOracle oracle(ds);
+    CrowdSession session(&oracle);
+    const BaselineResult r = RunBaselineSort(ds, &session);
+    EXPECT_EQ(r.skyline, ComputeGroundTruthSkyline(ds)) << seed;
+  }
+}
+
+TEST(TournamentSortTest, RoundsExceedParallelizableMinimum) {
+  // Replay paths are sequential: rounds scale like n log n, far above the
+  // log n of a fully parallel structure.
+  const Dataset ds = RandomDataset(128, 1, 11);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const BaselineResult r = RunBaselineSort(ds, &session);
+  EXPECT_GT(r.rounds, 128);
+}
+
+TEST(BitonicSortTest, ProducesCorrectTotalOrder) {
+  for (const int n : {1, 2, 7, 32, 100}) {
+    const Dataset ds = RandomDataset(n, 1, 13);
+    PerfectOracle oracle(ds);
+    CrowdSession session(&oracle);
+    const BaselineResult r = RunBitonicBaseline(ds, &session);
+    ASSERT_EQ(static_cast<int>(r.orders[0].size()), n) << n;
+    EXPECT_TRUE(IsSortedByHiddenValue(ds, r.orders[0], 0)) << n;
+  }
+}
+
+TEST(BitonicSortTest, FewRoundsManyQuestions) {
+  const int n = 128;
+  const Dataset ds = RandomDataset(n, 1, 15);
+  PerfectOracle o1(ds), o2(ds);
+  CrowdSession s1(&o1), s2(&o2);
+  const BaselineResult bitonic = RunBitonicBaseline(ds, &s1);
+  const BaselineResult tournament = RunBaselineSort(ds, &s2);
+  // O(log^2 n) rounds vs O(n log n).
+  EXPECT_LT(bitonic.rounds, 60);
+  EXPECT_LT(bitonic.rounds, tournament.rounds / 4);
+  EXPECT_GE(bitonic.questions, tournament.questions / 2);
+}
+
+TEST(BitonicSortTest, SkylineMatchesGroundTruth) {
+  const Dataset ds = RandomDataset(90, 1, 17);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const BaselineResult r = RunBitonicBaseline(ds, &session);
+  EXPECT_EQ(r.skyline, ComputeGroundTruthSkyline(ds));
+}
+
+TEST(SkylineFromOrdersTest, RanksActLikeValues) {
+  const Dataset toy = MakeToyDataset();
+  // Hand the true total order on A3 to the rank-based skyline.
+  const std::vector<int> order = {ToyId('f'), ToyId('h'), ToyId('k'),
+                                  ToyId('e'), ToyId('i'), ToyId('b'),
+                                  ToyId('l'), ToyId('j'), ToyId('a'),
+                                  ToyId('c'), ToyId('d'), ToyId('g')};
+  const std::vector<int> sky = internal::SkylineFromOrders(toy, {order});
+  EXPECT_EQ(sky, ComputeGroundTruthSkyline(toy));
+}
+
+}  // namespace
+}  // namespace crowdsky

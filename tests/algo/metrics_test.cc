@@ -1,0 +1,88 @@
+#include "algo/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/toy.h"
+#include "skyline/algorithms.h"
+
+namespace crowdsky {
+namespace {
+
+// Toy ground truth: SKY_A = {b,e,f,h,i,k,l}, SKY_AK = {b,e,i,l},
+// newly retrieved truth = {f, h, k}.
+
+std::vector<int> Ids(const std::string& labels) {
+  std::vector<int> out;
+  for (const char c : labels) out.push_back(ToyId(c));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(MetricsTest, PerfectResult) {
+  const Dataset toy = MakeToyDataset();
+  const AccuracyMetrics m =
+      EvaluateNewSkylineAccuracy(toy, Ids("befhikl"));
+  EXPECT_EQ(m.truth_new, 3);
+  EXPECT_EQ(m.retrieved_new, 3);
+  EXPECT_EQ(m.correct_new, 3);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, MissingNewTupleLowersRecallOnly) {
+  const Dataset toy = MakeToyDataset();
+  // Result misses k.
+  const AccuracyMetrics m = EvaluateNewSkylineAccuracy(toy, Ids("befhil"));
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, SpuriousTupleLowersPrecisionOnly) {
+  const Dataset toy = MakeToyDataset();
+  // Result wrongly includes a (a non-skyline tuple).
+  const AccuracyMetrics m =
+      EvaluateNewSkylineAccuracy(toy, Ids("abefhikl"));
+  EXPECT_NEAR(m.precision, 3.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(MetricsTest, KnownSkylineMembersDoNotCount) {
+  const Dataset toy = MakeToyDataset();
+  // Returning only the AK skyline: nothing newly retrieved.
+  const AccuracyMetrics m = EvaluateNewSkylineAccuracy(toy, Ids("beil"));
+  EXPECT_EQ(m.retrieved_new, 0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);  // convention for empty retrieval
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(MetricsTest, EmptyTruthGivesRecallOne) {
+  // Dataset where AK skyline == full skyline (nothing to retrieve).
+  auto ds = Dataset::Make(Schema::MakeSynthetic(1, 1),
+                          {{1, 0.1}, {2, 0.2}, {3, 0.3}});
+  ds.status().CheckOK();
+  const AccuracyMetrics m = EvaluateNewSkylineAccuracy(*ds, {0});
+  EXPECT_EQ(m.truth_new, 0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(MetricsTest, UnsortedInputHandled) {
+  const Dataset toy = MakeToyDataset();
+  std::vector<int> shuffled = {ToyId('k'), ToyId('b'), ToyId('f'),
+                               ToyId('h'), ToyId('e'), ToyId('i'),
+                               ToyId('l')};
+  const AccuracyMetrics m = EvaluateNewSkylineAccuracy(toy, shuffled);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  const Dataset toy = MakeToyDataset();
+  const AccuracyMetrics m = EvaluateNewSkylineAccuracy(toy, Ids("befhil"));
+  const double expected =
+      2.0 * m.precision * m.recall / (m.precision + m.recall);
+  EXPECT_DOUBLE_EQ(m.f1, expected);
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,104 @@
+#include "algo/unary.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/crowdsky_algorithm.h"
+#include "algo/metrics.h"
+#include "crowd/oracle.h"
+#include "data/generator.h"
+#include "skyline/algorithms.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset RandomDataset(int n, uint64_t seed) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = 4;
+  opt.num_crowd = 1;
+  opt.seed = seed;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+TEST(UnaryTest, OneQuestionPerTuplePerCrowdAttr) {
+  const Dataset ds = RandomDataset(80, 1);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const UnaryResult r = RunUnary(ds, &session);
+  EXPECT_EQ(r.questions, 80);
+  EXPECT_EQ(r.rounds, 1);  // one-shot strategy
+  ASSERT_EQ(r.questions_per_round.size(), 1u);
+  EXPECT_EQ(r.questions_per_round[0], 80);
+}
+
+TEST(UnaryTest, PerfectEstimatesGivePerfectSkyline) {
+  const Dataset ds = RandomDataset(150, 2);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const UnaryResult r = RunUnary(ds, &session);
+  EXPECT_EQ(r.skyline, ComputeGroundTruthSkyline(ds));
+}
+
+TEST(UnaryTest, NoisyEstimatesDegradeAccuracy) {
+  const Dataset ds = RandomDataset(300, 3);
+  WorkerModel worker;
+  worker.unary_sigma = 0.3;  // very noisy raters
+  SimulatedCrowd crowd(ds, worker, VotingPolicy::MakeStatic(1), 5);
+  CrowdSession session(&crowd);
+  const UnaryResult r = RunUnary(ds, &session);
+  const AccuracyMetrics acc = EvaluateNewSkylineAccuracy(ds, r.skyline);
+  EXPECT_LT(acc.f1, 0.999);
+}
+
+TEST(UnaryTest, MoreWorkersImproveUnaryAccuracy) {
+  const Dataset ds = RandomDataset(250, 7);
+  WorkerModel worker;
+  worker.unary_sigma = 0.25;
+  double f1_few = 0.0, f1_many = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SimulatedCrowd few(ds, worker, VotingPolicy::MakeStatic(1), seed);
+    CrowdSession s1(&few);
+    f1_few += EvaluateNewSkylineAccuracy(ds, RunUnary(ds, &s1).skyline).f1;
+    SimulatedCrowd many(ds, worker, VotingPolicy::MakeStatic(25), seed);
+    CrowdSession s2(&many);
+    f1_many += EvaluateNewSkylineAccuracy(ds, RunUnary(ds, &s2).skyline).f1;
+  }
+  EXPECT_GT(f1_many, f1_few);
+}
+
+TEST(UnaryTest, EstimatesExposedInResult) {
+  const Dataset ds = RandomDataset(20, 9);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  const UnaryResult r = RunUnary(ds, &session);
+  ASSERT_EQ(r.estimates.size(), 20u);
+  const PreferenceMatrix crowd = PreferenceMatrix::FromCrowd(ds);
+  for (int id = 0; id < 20; ++id) {
+    EXPECT_DOUBLE_EQ(r.estimates[static_cast<size_t>(id)],
+                     crowd.value(id, 0));
+  }
+}
+
+TEST(UnaryTest, PairwiseBeatsUnaryUnderComparableNoise) {
+  // The paper's headline accuracy claim (Figure 11): CrowdSky's pair-wise
+  // questions with voting beat unary estimates.
+  double unary_f1 = 0.0, crowdsky_f1 = 0.0;
+  const int kRuns = 5;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    const Dataset ds = RandomDataset(200, seed + 100);
+    WorkerModel worker;
+    worker.p_correct = 0.8;
+    SimulatedCrowd crowd1(ds, worker, VotingPolicy::MakeStatic(5), seed);
+    CrowdSession s1(&crowd1);
+    unary_f1 += EvaluateNewSkylineAccuracy(ds, RunUnary(ds, &s1).skyline).f1;
+
+    SimulatedCrowd crowd2(ds, worker, VotingPolicy::MakeStatic(5), seed);
+    CrowdSession s2(&crowd2);
+    crowdsky_f1 +=
+        EvaluateNewSkylineAccuracy(ds, RunCrowdSky(ds, &s2, {}).skyline).f1;
+  }
+  EXPECT_GT(crowdsky_f1, unary_f1);
+}
+
+}  // namespace
+}  // namespace crowdsky

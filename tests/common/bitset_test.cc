@@ -1,0 +1,223 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace crowdsky {
+namespace {
+
+TEST(DynamicBitsetTest, EmptyBitset) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.FindFirst(), 0u);
+}
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitsetTest, SetTo) {
+  DynamicBitset b(10);
+  b.SetTo(3, true);
+  EXPECT_TRUE(b.Test(3));
+  b.SetTo(3, false);
+  EXPECT_FALSE(b.Test(3));
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsPadding) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ClearAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitsetTest, ExactWordBoundary) {
+  DynamicBitset b(64);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 64u);
+  EXPECT_TRUE(b.Test(63));
+}
+
+TEST(DynamicBitsetTest, ResizeKeepsBitsAndClearsPadding) {
+  DynamicBitset b(10);
+  b.Set(3);
+  b.Set(9);
+  b.Resize(100);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_EQ(b.Count(), 2u);
+  b.SetAll();
+  b.Resize(65);
+  EXPECT_EQ(b.Count(), 65u);
+}
+
+TEST(DynamicBitsetTest, OrWith) {
+  DynamicBitset a(128), b(128);
+  a.Set(1);
+  b.Set(100);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(100));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(DynamicBitsetTest, AndWith) {
+  DynamicBitset a(128), b(128);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(2));
+}
+
+TEST(DynamicBitsetTest, AndNotWith) {
+  DynamicBitset a(128), b(128);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  a.AndNotWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(1));
+}
+
+TEST(DynamicBitsetTest, Intersects) {
+  DynamicBitset a(200), b(200);
+  a.Set(150);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(150);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(DynamicBitsetTest, IntersectionCount) {
+  DynamicBitset a(256), b(256);
+  for (size_t i = 0; i < 256; i += 2) a.Set(i);
+  for (size_t i = 0; i < 256; i += 3) b.Set(i);
+  size_t expected = 0;
+  for (size_t i = 0; i < 256; i += 6) ++expected;
+  EXPECT_EQ(a.IntersectionCount(b), expected);
+}
+
+TEST(DynamicBitsetTest, IsSubsetOf) {
+  DynamicBitset a(100), b(100);
+  a.Set(5);
+  b.Set(5);
+  b.Set(6);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  DynamicBitset empty(100);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(DynamicBitsetTest, FindFirstAndNext) {
+  DynamicBitset b(300);
+  EXPECT_EQ(b.FindFirst(), 300u);
+  b.Set(13);
+  b.Set(64);
+  b.Set(299);
+  EXPECT_EQ(b.FindFirst(), 13u);
+  EXPECT_EQ(b.FindNext(13), 13u);
+  EXPECT_EQ(b.FindNext(14), 64u);
+  EXPECT_EQ(b.FindNext(65), 299u);
+  EXPECT_EQ(b.FindNext(300), 300u);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitInOrder) {
+  DynamicBitset b(500);
+  const std::set<size_t> expected = {0, 63, 64, 65, 127, 128, 400, 499};
+  for (const size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEachSetBit([&seen](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  for (const size_t i : seen) EXPECT_TRUE(expected.count(i));
+}
+
+TEST(DynamicBitsetTest, ToVector) {
+  DynamicBitset b(80);
+  b.Set(2);
+  b.Set(79);
+  const std::vector<int> v = b.ToVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 79);
+}
+
+TEST(DynamicBitsetTest, Equality) {
+  DynamicBitset a(64), b(64), c(65);
+  a.Set(3);
+  b.Set(3);
+  EXPECT_TRUE(a == b);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DynamicBitsetTest, RandomizedAgainstStdSet) {
+  Rng rng(99);
+  const size_t kBits = 777;
+  DynamicBitset b(kBits);
+  std::set<size_t> reference;
+  for (int op = 0; op < 5000; ++op) {
+    const auto i = static_cast<size_t>(rng.NextBounded(kBits));
+    if (rng.Bernoulli(0.6)) {
+      b.Set(i);
+      reference.insert(i);
+    } else {
+      b.Reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(b.Count(), reference.size());
+  for (size_t i = 0; i < kBits; ++i) {
+    EXPECT_EQ(b.Test(i), reference.count(i) > 0) << i;
+  }
+}
+
+TEST(DynamicBitsetTest, RandomizedBulkOpsAgainstReference) {
+  Rng rng(123);
+  const size_t kBits = 321;
+  for (int trial = 0; trial < 20; ++trial) {
+    DynamicBitset a(kBits), b(kBits);
+    std::set<size_t> ra, rb;
+    for (int i = 0; i < 100; ++i) {
+      const auto x = static_cast<size_t>(rng.NextBounded(kBits));
+      const auto y = static_cast<size_t>(rng.NextBounded(kBits));
+      a.Set(x);
+      ra.insert(x);
+      b.Set(y);
+      rb.insert(y);
+    }
+    size_t inter = 0;
+    for (const size_t x : ra) inter += rb.count(x);
+    EXPECT_EQ(a.IntersectionCount(b), inter);
+    EXPECT_EQ(a.Intersects(b), inter > 0);
+    DynamicBitset u = a;
+    u.OrWith(b);
+    std::set<size_t> ru = ra;
+    ru.insert(rb.begin(), rb.end());
+    EXPECT_EQ(u.Count(), ru.size());
+  }
+}
+
+}  // namespace
+}  // namespace crowdsky

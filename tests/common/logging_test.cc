@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroEmitsToStderr) {
+  testing::internal::CaptureStderr();
+  CROWDSKY_LOG(Warning) << "watch out " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("watch out 42"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressedBelowMinimumLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CROWDSKY_LOG(Info) << "should not appear";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "");
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, ErrorAlwaysEmits) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CROWDSKY_LOG(Error) << "critical";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace crowdsky

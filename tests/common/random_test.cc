@@ -1,0 +1,152 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace crowdsky {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(r.Next());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng r(17);
+  std::vector<int> counts(10, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[r.NextBounded(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN / 10.0 * 0.1);
+  }
+}
+
+TEST(RngTest, NextBoundedOne) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.NextBounded(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = r.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng r(31);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.Bernoulli(0.8) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.8, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(37);
+  const int kN = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = r.Gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(41);
+  b.Next();  // parent consumed one value to fork
+  EXPECT_EQ(a.Next(), b.Next());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == a.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 specification (seed 0).
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(&state), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng r(43);
+  EXPECT_NE(r(), r());
+}
+
+}  // namespace
+}  // namespace crowdsky

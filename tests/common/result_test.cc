@@ -1,0 +1,74 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crowdsky {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> ok(7);
+  Result<int> err = Status::IOError("x");
+  EXPECT_EQ(ok.ValueOr(-1), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 10;
+  };
+  auto consume = [&](bool fail) -> Result<int> {
+    CROWDSKY_ASSIGN_OR_RETURN(int v, produce(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(consume(false).ValueOrDie(), 20);
+  EXPECT_TRUE(consume(true).status().IsOutOfRange());
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::IOError("fatal");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "IO error");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r{Status::OK()}; (void)r; }, "OK status");
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::BudgetExhausted("x").IsBudgetExhausted());
+  EXPECT_TRUE(Status::Contradiction("x").IsContradiction());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "disk gone");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status a = Status::NotFound("gone");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsNotFound());
+  Status c;
+  c = std::move(b);
+  EXPECT_TRUE(c.IsNotFound());
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status a = Status::NotFound("gone");
+  Status& alias = a;
+  a = alias;
+  EXPECT_TRUE(a.IsNotFound());
+  EXPECT_EQ(a.message(), "gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("boom"); };
+  auto wrapper = [&]() -> Status {
+    CROWDSKY_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto ok = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    CROWDSKY_RETURN_NOT_OK(ok());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kContradiction), "Contradiction");
+}
+
+}  // namespace
+}  // namespace crowdsky

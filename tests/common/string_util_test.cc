@@ -1,0 +1,91 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoDelimiter) {
+  const auto parts = SplitString("plain", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("nochange"), "nochange");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").ValueOrDie(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7 ").ValueOrDie(), 7.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").ValueOrDie(), 0.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1e999999").ok());
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64(" 0 ").ValueOrDie(), 0);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StringFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "ab"));
+}
+
+}  // namespace
+}  // namespace crowdsky

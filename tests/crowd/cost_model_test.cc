@@ -1,0 +1,52 @@
+#include "crowd/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(AmtCostModelTest, PaperFormula) {
+  // cost = 0.02 * 5 * sum ceil(|Qi| / 5)
+  AmtCostModel model;
+  EXPECT_EQ(model.Hits({5}), 1);
+  EXPECT_EQ(model.Hits({6}), 2);
+  EXPECT_EQ(model.Hits({1, 1, 1}), 3);
+  EXPECT_DOUBLE_EQ(model.Cost({5}), 0.02 * 5 * 1);
+  EXPECT_DOUBLE_EQ(model.Cost({12, 3}), 0.02 * 5 * (3 + 1));
+}
+
+TEST(AmtCostModelTest, EmptyRunCostsNothing) {
+  AmtCostModel model;
+  EXPECT_DOUBLE_EQ(model.Cost({}), 0.0);
+  EXPECT_EQ(model.Hits({}), 0);
+  EXPECT_EQ(model.Hits({0}), 0);
+}
+
+TEST(AmtCostModelTest, RoundsCannotShareHits) {
+  AmtCostModel model;
+  // 10 questions in one round = 2 HITs; spread over 10 rounds = 10 HITs.
+  EXPECT_EQ(model.Hits({10}), 2);
+  EXPECT_EQ(model.Hits(std::vector<int64_t>(10, 1)), 10);
+}
+
+TEST(AmtCostModelTest, CustomParameters) {
+  AmtCostModel model;
+  model.reward_per_hit = 0.1;
+  model.workers_per_question = 3;
+  model.questions_per_hit = 2;
+  EXPECT_EQ(model.Hits({5}), 3);
+  EXPECT_DOUBLE_EQ(model.Cost({5}), 0.1 * 3 * 3);
+}
+
+TEST(AmtCostModelTest, BaselineVsCrowdSkyShape) {
+  // Sanity-check the Figure 12(a) arithmetic: ~245 questions in one-shot
+  // batches vs ~50 for CrowdSky gives roughly a 5x saving.
+  AmtCostModel model;
+  const double baseline = model.Cost({245});
+  const double crowdsky = model.Cost({50});
+  EXPECT_NEAR(baseline, 4.9, 1e-9);
+  EXPECT_NEAR(crowdsky, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace crowdsky

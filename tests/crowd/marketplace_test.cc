@@ -1,0 +1,204 @@
+#include "crowd/marketplace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+MarketplaceOptions BaseOptions() {
+  MarketplaceOptions opt;
+  opt.pool_size = 100;
+  opt.population.p_correct = 0.8;
+  opt.population.p_stddev = 0.1;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(MarketplaceTest, PoolIsBuiltDeterministically) {
+  const Dataset toy = MakeToyDataset();
+  CrowdMarketplace a(toy, BaseOptions(), VotingPolicy::MakeStatic(5));
+  CrowdMarketplace b(toy, BaseOptions(), VotingPolicy::MakeStatic(5));
+  ASSERT_EQ(a.pool_size(), 100);
+  for (int i = 0; i < a.pool_size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.workers()[static_cast<size_t>(i)].p_correct,
+                     b.workers()[static_cast<size_t>(i)].p_correct);
+  }
+  EXPECT_EQ(a.AnswerPair({0, 0, 1}, {}), b.AnswerPair({0, 0, 1}, {}));
+}
+
+TEST(MarketplaceTest, NoQualificationAdmitsEveryone) {
+  const Dataset toy = MakeToyDataset();
+  CrowdMarketplace m(toy, BaseOptions(), VotingPolicy::MakeStatic(5));
+  EXPECT_EQ(m.qualified_count(), m.pool_size());
+}
+
+TEST(MarketplaceTest, QualificationRaisesPoolReliability) {
+  const Dataset toy = MakeToyDataset();
+  MarketplaceOptions open = BaseOptions();
+  open.population.spammer_fraction = 0.3;
+  CrowdMarketplace unfiltered(toy, open, VotingPolicy::MakeStatic(5));
+
+  MarketplaceOptions masters = open;
+  masters.gold_questions = 40;
+  masters.qualification_threshold = 0.75;
+  CrowdMarketplace filtered(toy, masters, VotingPolicy::MakeStatic(5));
+
+  EXPECT_LT(filtered.qualified_count(), filtered.pool_size());
+  EXPECT_GT(filtered.QualifiedPoolReliability(),
+            unfiltered.QualifiedPoolReliability() + 0.05);
+}
+
+TEST(MarketplaceTest, QualificationFiltersSpammers) {
+  const Dataset toy = MakeToyDataset();
+  MarketplaceOptions opt = BaseOptions();
+  opt.pool_size = 400;
+  opt.population.spammer_fraction = 0.25;
+  opt.gold_questions = 60;
+  opt.qualification_threshold = 0.7;
+  CrowdMarketplace m(toy, opt, VotingPolicy::MakeStatic(5));
+  int qualified_spammers = 0, total_spammers = 0;
+  for (const Worker& w : m.workers()) {
+    if (!w.spammer) continue;
+    ++total_spammers;
+    qualified_spammers += w.qualified ? 1 : 0;
+  }
+  ASSERT_GT(total_spammers, 50);
+  // A spammer passes a 60-question gold test at threshold 0.7 with
+  // probability ~ 0.1%; essentially none should survive.
+  EXPECT_LE(qualified_spammers, total_spammers / 20);
+}
+
+TEST(MarketplaceTest, AnswersTrackWorkerHistory) {
+  const Dataset toy = MakeToyDataset();
+  CrowdMarketplace m(toy, BaseOptions(), VotingPolicy::MakeStatic(5));
+  m.AnswerPair({0, 0, 1}, {});
+  m.AnswerPair({0, 2, 3}, {});
+  EXPECT_EQ(m.stats().pair_questions, 2);
+  EXPECT_EQ(m.stats().worker_answers, 10);
+  int64_t total = 0;
+  for (const Worker& w : m.workers()) total += w.answers_given;
+  EXPECT_EQ(total, 10);
+}
+
+TEST(MarketplaceTest, TinyPoolAssignsEveryoneOnce) {
+  const Dataset toy = MakeToyDataset();
+  MarketplaceOptions opt = BaseOptions();
+  opt.pool_size = 3;
+  CrowdMarketplace m(toy, opt, VotingPolicy::MakeStatic(5));
+  m.AnswerPair({0, 0, 1}, {});
+  // Only 3 qualified workers exist, so 3 answers, not 5.
+  EXPECT_EQ(m.stats().worker_answers, 3);
+  for (const Worker& w : m.workers()) {
+    EXPECT_EQ(w.answers_given, 1);
+  }
+}
+
+TEST(MarketplaceTest, ReliablePoolAnswersAccurately) {
+  GeneratorOptions gen;
+  gen.cardinality = 60;
+  gen.num_known = 1;
+  gen.num_crowd = 1;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+  MarketplaceOptions opt = BaseOptions();
+  opt.population.p_correct = 0.95;
+  opt.population.p_stddev = 0.0;
+  CrowdMarketplace m(ds, opt, VotingPolicy::MakeStatic(5));
+  PerfectOracle reference(ds);
+  int correct = 0, total = 0;
+  for (int u = 0; u < ds.size(); ++u) {
+    for (int v = u + 1; v < ds.size(); v += 6) {
+      const Answer truth = reference.AnswerPair({0, u, v}, {});
+      correct += m.AnswerPair({0, u, v}, {}) == truth;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.97);
+}
+
+TEST(MarketplaceTest, UnaryAnswersCenterOnTruth) {
+  const Dataset toy = MakeToyDataset();
+  MarketplaceOptions opt = BaseOptions();
+  opt.population.unary_sigma = 0.05;
+  CrowdMarketplace m(toy, opt, VotingPolicy::MakeStatic(5));
+  double sum = 0;
+  const int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) sum += m.AnswerUnary(ToyId('e'), 0, {});
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.2);
+}
+
+TEST(MarketplaceDeathTest, ImpossibleQualificationAborts) {
+  const Dataset toy = MakeToyDataset();
+  MarketplaceOptions opt = BaseOptions();
+  opt.pool_size = 5;
+  opt.population.p_correct = 0.55;
+  opt.population.p_stddev = 0.0;
+  opt.gold_questions = 100;
+  opt.qualification_threshold = 0.99;
+  EXPECT_DEATH(CrowdMarketplace(toy, opt, VotingPolicy::MakeStatic(5)),
+               "rejected every worker");
+}
+
+TEST(MarketplaceTest, WeightedVotesBeatUniformOnHeterogeneousPool) {
+  GeneratorOptions gen;
+  gen.cardinality = 60;
+  gen.num_known = 1;
+  gen.num_crowd = 1;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+  MarketplaceOptions base;
+  base.pool_size = 120;
+  base.population.p_correct = 0.72;
+  base.population.p_stddev = 0.15;
+  base.gold_questions = 60;           // accurate quality estimates
+  base.qualification_threshold = 0.0; // admit everyone; weights decide
+  base.seed = 19;
+  MarketplaceOptions weighted = base;
+  weighted.weighted_votes = true;
+
+  PerfectOracle reference(ds);
+  int uniform_correct = 0, weighted_correct = 0, total = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    MarketplaceOptions b = base, w = weighted;
+    b.seed = w.seed = seed * 131;
+    CrowdMarketplace uniform_pool(ds, b, VotingPolicy::MakeStatic(5));
+    CrowdMarketplace weighted_pool(ds, w, VotingPolicy::MakeStatic(5));
+    for (int u = 0; u < ds.size(); ++u) {
+      for (int v = u + 1; v < ds.size(); v += 4) {
+        const Answer truth = reference.AnswerPair({0, u, v}, {});
+        uniform_correct += uniform_pool.AnswerPair({0, u, v}, {}) == truth;
+        weighted_correct += weighted_pool.AnswerPair({0, u, v}, {}) == truth;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(weighted_correct, uniform_correct);
+}
+
+TEST(MarketplaceIntegrationTest, QualifiedPoolBeatsOpenPool) {
+  GeneratorOptions gen;
+  gen.cardinality = 200;
+  gen.num_known = 4;
+  gen.num_crowd = 1;
+  gen.seed = 3;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+  MarketplaceOptions open;
+  open.pool_size = 150;
+  open.population.p_correct = 0.8;
+  open.population.p_stddev = 0.12;
+  open.population.spammer_fraction = 0.25;
+  open.seed = 11;
+  MarketplaceOptions masters = open;
+  masters.gold_questions = 50;
+  masters.qualification_threshold = 0.75;
+  CrowdMarketplace m_open(ds, open, VotingPolicy::MakeStatic(5));
+  CrowdMarketplace m_masters(ds, masters, VotingPolicy::MakeStatic(5));
+  EXPECT_GT(m_masters.QualifiedPoolReliability(),
+            m_open.QualifiedPoolReliability());
+}
+
+}  // namespace
+}  // namespace crowdsky

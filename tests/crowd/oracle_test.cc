@@ -1,0 +1,192 @@
+#include "crowd/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+TEST(PerfectOracleTest, AnswersMatchGroundTruth) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  // f (A3 = 1) preferred over e (A3 = 4); MIN direction.
+  EXPECT_EQ(oracle.AnswerPair({0, ToyId('f'), ToyId('e')}, {}),
+            Answer::kFirstPreferred);
+  EXPECT_EQ(oracle.AnswerPair({0, ToyId('e'), ToyId('f')}, {}),
+            Answer::kSecondPreferred);
+  EXPECT_EQ(oracle.stats().pair_questions, 2);
+  EXPECT_EQ(oracle.stats().worker_answers, 2);
+}
+
+TEST(PerfectOracleTest, RespectsMaxDirection) {
+  auto schema = Schema::Make({
+      {"k", Direction::kMin, AttributeKind::kKnown},
+      {"c", Direction::kMax, AttributeKind::kCrowd},
+  });
+  schema.status().CheckOK();
+  auto ds = Dataset::Make(std::move(schema).ValueOrDie(),
+                          {{1, 10.0}, {2, 20.0}});
+  ds.status().CheckOK();
+  PerfectOracle oracle(*ds);
+  // Larger crowd value preferred under MAX.
+  EXPECT_EQ(oracle.AnswerPair({0, 0, 1}, {}), Answer::kSecondPreferred);
+}
+
+TEST(PerfectOracleTest, EqualValuesGiveEqual) {
+  auto ds = Dataset::Make(Schema::MakeSynthetic(1, 1),
+                          {{1, 0.5}, {2, 0.5}});
+  ds.status().CheckOK();
+  PerfectOracle oracle(*ds);
+  EXPECT_EQ(oracle.AnswerPair({0, 0, 1}, {}), Answer::kEqual);
+}
+
+TEST(PerfectOracleTest, UnaryReturnsTrueValue) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  EXPECT_DOUBLE_EQ(oracle.AnswerUnary(ToyId('f'), 0, {}), 1.0);
+  EXPECT_EQ(oracle.stats().unary_questions, 1);
+}
+
+TEST(SimulatedCrowdTest, PerfectWorkersAreAlwaysRight) {
+  const Dataset toy = MakeToyDataset();
+  WorkerModel worker;
+  worker.p_correct = 1.0;
+  SimulatedCrowd crowd(toy, worker, VotingPolicy::MakeStatic(1), 1);
+  PerfectOracle reference(toy);
+  for (int u = 0; u < toy.size(); ++u) {
+    for (int v = u + 1; v < toy.size(); ++v) {
+      EXPECT_EQ(crowd.AnswerPair({0, u, v}, {}),
+                reference.AnswerPair({0, u, v}, {}));
+    }
+  }
+}
+
+TEST(SimulatedCrowdTest, SingleWorkerErrorRateNearP) {
+  GeneratorOptions opt;
+  opt.cardinality = 60;
+  opt.num_known = 1;
+  opt.num_crowd = 1;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  WorkerModel worker;
+  worker.p_correct = 0.8;
+  SimulatedCrowd crowd(ds, worker, VotingPolicy::MakeStatic(1), 17);
+  PerfectOracle reference(ds);
+  int correct = 0, total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    for (int u = 0; u < ds.size(); ++u) {
+      for (int v = u + 1; v < ds.size(); v += 7) {
+        const Answer truth = reference.AnswerPair({0, u, v}, {});
+        if (crowd.AnswerPair({0, u, v}, {}) == truth) ++correct;
+        ++total;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / total, 0.8, 0.02);
+}
+
+TEST(SimulatedCrowdTest, MajorityVotingMatchesBinomialFormula) {
+  GeneratorOptions opt;
+  opt.cardinality = 40;
+  opt.num_known = 1;
+  opt.num_crowd = 1;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  WorkerModel worker;
+  worker.p_correct = 0.8;
+  SimulatedCrowd crowd(ds, worker, VotingPolicy::MakeStatic(5), 23);
+  PerfectOracle reference(ds);
+  int correct = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (int u = 0; u < ds.size(); ++u) {
+      for (int v = u + 1; v < ds.size(); v += 5) {
+        const Answer truth = reference.AnswerPair({0, u, v}, {});
+        if (crowd.AnswerPairWithWorkers({0, u, v}, 5) == truth) ++correct;
+        ++total;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / total,
+              MajorityCorrectProbability(5, 0.8), 0.02);
+}
+
+TEST(SimulatedCrowdTest, WorkerAnswersAccounting) {
+  const Dataset toy = MakeToyDataset();
+  WorkerModel worker;
+  SimulatedCrowd crowd(toy, worker, VotingPolicy::MakeStatic(5), 3);
+  crowd.AnswerPair({0, 0, 1}, {});
+  EXPECT_EQ(crowd.stats().pair_questions, 1);
+  EXPECT_EQ(crowd.stats().worker_answers, 5);
+  crowd.AnswerPairWithWorkers({0, 2, 3}, 7);
+  EXPECT_EQ(crowd.stats().worker_answers, 12);
+}
+
+TEST(SimulatedCrowdTest, DynamicVotingUsesFreq) {
+  const Dataset toy = MakeToyDataset();
+  WorkerModel worker;
+  SimulatedCrowd crowd(toy, worker,
+                       VotingPolicy::MakeDynamicWithThresholds(5, 2, 4), 3);
+  crowd.AnswerPair({0, 0, 1}, {0});  // low importance -> 3 workers
+  EXPECT_EQ(crowd.stats().worker_answers, 3);
+  crowd.AnswerPair({0, 2, 3}, {10});  // high importance -> 7 workers
+  EXPECT_EQ(crowd.stats().worker_answers, 10);
+}
+
+TEST(SimulatedCrowdTest, SpammersDegradeAccuracy) {
+  GeneratorOptions opt;
+  opt.cardinality = 50;
+  opt.num_known = 1;
+  opt.num_crowd = 1;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  WorkerModel clean;
+  clean.p_correct = 0.95;
+  WorkerModel spammy = clean;
+  spammy.spammer_fraction = 0.8;
+  SimulatedCrowd good(ds, clean, VotingPolicy::MakeStatic(1), 29);
+  SimulatedCrowd bad(ds, spammy, VotingPolicy::MakeStatic(1), 29);
+  PerfectOracle reference(ds);
+  int good_correct = 0, bad_correct = 0, total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (int u = 0; u < ds.size(); ++u) {
+      for (int v = u + 1; v < ds.size(); v += 9) {
+        const Answer truth = reference.AnswerPair({0, u, v}, {});
+        good_correct += good.AnswerPair({0, u, v}, {}) == truth;
+        bad_correct += bad.AnswerPair({0, u, v}, {}) == truth;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(good_correct - bad_correct, total / 10);
+}
+
+TEST(SimulatedCrowdTest, UnaryEstimatesCenterOnTruth) {
+  const Dataset toy = MakeToyDataset();
+  WorkerModel worker;
+  worker.unary_sigma = 0.1;
+  SimulatedCrowd crowd(toy, worker, VotingPolicy::MakeStatic(5), 31);
+  double sum = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += crowd.AnswerUnary(ToyId('e'), 0, {});
+  }
+  // True normalized value of e on A3 is 4 (MIN direction, unchanged).
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.1);
+  EXPECT_EQ(crowd.stats().unary_questions, kTrials);
+  EXPECT_EQ(crowd.stats().worker_answers, kTrials * 5);
+}
+
+TEST(SimulatedCrowdTest, DeterministicForSeed) {
+  const Dataset toy = MakeToyDataset();
+  WorkerModel worker;
+  worker.p_correct = 0.6;
+  SimulatedCrowd a(toy, worker, VotingPolicy::MakeStatic(3), 5);
+  SimulatedCrowd b(toy, worker, VotingPolicy::MakeStatic(3), 5);
+  for (int u = 0; u < toy.size(); ++u) {
+    for (int v = u + 1; v < toy.size(); ++v) {
+      EXPECT_EQ(a.AnswerPair({0, u, v}, {}), b.AnswerPair({0, u, v}, {}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdsky

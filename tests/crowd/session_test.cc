@@ -1,0 +1,111 @@
+#include "crowd/session.h"
+
+#include <gtest/gtest.h>
+
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : toy_(MakeToyDataset()), oracle_(toy_), session_(&oracle_) {}
+
+  Dataset toy_;
+  PerfectOracle oracle_;
+  CrowdSession session_;
+};
+
+TEST_F(SessionTest, AskOrientsAnswerToCaller) {
+  // f preferred over e.
+  EXPECT_EQ(session_.Ask(0, ToyId('f'), ToyId('e')),
+            Answer::kFirstPreferred);
+  EXPECT_EQ(session_.Ask(0, ToyId('e'), ToyId('f')),
+            Answer::kSecondPreferred);
+}
+
+TEST_F(SessionTest, SymmetricQuestionsShareCacheEntry) {
+  session_.Ask(0, ToyId('a'), ToyId('b'));
+  EXPECT_EQ(session_.stats().questions, 1);
+  session_.Ask(0, ToyId('b'), ToyId('a'));
+  EXPECT_EQ(session_.stats().questions, 1);
+  EXPECT_EQ(session_.stats().cache_hits, 1);
+  EXPECT_EQ(oracle_.stats().pair_questions, 1);
+}
+
+TEST_F(SessionTest, IsCachedIsSymmetric) {
+  EXPECT_FALSE(session_.IsCached(0, 1, 2));
+  session_.Ask(0, 2, 1);
+  EXPECT_TRUE(session_.IsCached(0, 1, 2));
+  EXPECT_TRUE(session_.IsCached(0, 2, 1));
+}
+
+TEST_F(SessionTest, RoundAccounting) {
+  session_.Ask(0, 0, 1);
+  session_.Ask(0, 2, 3);
+  session_.EndRound();
+  EXPECT_EQ(session_.stats().rounds, 1);
+  session_.Ask(0, 4, 5);
+  session_.EndRound();
+  EXPECT_EQ(session_.stats().rounds, 2);
+  ASSERT_EQ(session_.questions_per_round().size(), 2u);
+  EXPECT_EQ(session_.questions_per_round()[0], 2);
+  EXPECT_EQ(session_.questions_per_round()[1], 1);
+}
+
+TEST_F(SessionTest, EmptyRoundsAreNotCounted) {
+  session_.EndRound();
+  session_.EndRound();
+  EXPECT_EQ(session_.stats().rounds, 0);
+  // Cache hits do not occupy round capacity either.
+  session_.Ask(0, 0, 1);
+  session_.EndRound();
+  session_.Ask(0, 1, 0);
+  session_.EndRound();
+  EXPECT_EQ(session_.stats().rounds, 1);
+}
+
+TEST_F(SessionTest, OpenRoundQuestionCount) {
+  EXPECT_EQ(session_.open_round_questions(), 0);
+  session_.Ask(0, 0, 1);
+  EXPECT_EQ(session_.open_round_questions(), 1);
+  session_.EndRound();
+  EXPECT_EQ(session_.open_round_questions(), 0);
+}
+
+TEST_F(SessionTest, UnaryQuestionsCounted) {
+  session_.AskUnary(3, 0);
+  session_.AskUnary(4, 0);
+  session_.EndRound();
+  EXPECT_EQ(session_.stats().unary_questions, 2);
+  EXPECT_EQ(session_.stats().rounds, 1);
+  EXPECT_EQ(session_.questions_per_round()[0], 2);
+}
+
+TEST_F(SessionTest, DifferentAttributesAreDifferentQuestions) {
+  auto ds = Dataset::Make(Schema::MakeSynthetic(1, 2),
+                          {{1, 0.1, 0.9}, {2, 0.2, 0.8}});
+  ds.status().CheckOK();
+  PerfectOracle oracle(*ds);
+  CrowdSession session(&oracle);
+  EXPECT_EQ(session.Ask(0, 0, 1), Answer::kFirstPreferred);
+  EXPECT_EQ(session.Ask(1, 0, 1), Answer::kSecondPreferred);
+  EXPECT_EQ(session.stats().questions, 2);
+}
+
+TEST_F(SessionTest, CachedAnswerIsStable) {
+  const Answer first = session_.Ask(0, ToyId('b'), ToyId('e'));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(session_.Ask(0, ToyId('b'), ToyId('e')), first);
+  }
+}
+
+TEST(SessionDeathTest, SelfPairRejected) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  CrowdSession session(&oracle);
+  EXPECT_DEATH(session.Ask(0, 3, 3), "distinct");
+}
+
+}  // namespace
+}  // namespace crowdsky

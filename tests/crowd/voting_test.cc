@@ -1,0 +1,104 @@
+#include "crowd/voting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+namespace {
+
+TEST(MajorityCorrectProbabilityTest, SingleWorkerIsP) {
+  EXPECT_DOUBLE_EQ(MajorityCorrectProbability(1, 0.8), 0.8);
+  EXPECT_DOUBLE_EQ(MajorityCorrectProbability(1, 0.3), 0.3);
+}
+
+TEST(MajorityCorrectProbabilityTest, ThreeWorkersClosedForm) {
+  // P = p^3 + 3 p^2 (1-p).
+  const double p = 0.8;
+  EXPECT_NEAR(MajorityCorrectProbability(3, p),
+              p * p * p + 3 * p * p * (1 - p), 1e-12);
+}
+
+TEST(MajorityCorrectProbabilityTest, FiveWorkersPaperDefault) {
+  // omega = 5, p = 0.8 -> ~0.94208.
+  EXPECT_NEAR(MajorityCorrectProbability(5, 0.8), 0.94208, 1e-5);
+}
+
+TEST(MajorityCorrectProbabilityTest, MoreWorkersHelpWhenPAboveHalf) {
+  for (int omega = 1; omega <= 9; omega += 2) {
+    EXPECT_LT(MajorityCorrectProbability(omega, 0.8),
+              MajorityCorrectProbability(omega + 2, 0.8));
+  }
+}
+
+TEST(MajorityCorrectProbabilityTest, MoreWorkersHurtWhenPBelowHalf) {
+  EXPECT_GT(MajorityCorrectProbability(3, 0.4),
+            MajorityCorrectProbability(5, 0.4));
+}
+
+TEST(MajorityCorrectProbabilityTest, FairCoinStaysHalf) {
+  for (int omega = 1; omega <= 7; omega += 2) {
+    EXPECT_NEAR(MajorityCorrectProbability(omega, 0.5), 0.5, 1e-12);
+  }
+}
+
+TEST(VotingPolicyTest, StaticAlwaysSame) {
+  const VotingPolicy p = VotingPolicy::MakeStatic(5);
+  EXPECT_FALSE(p.is_dynamic());
+  EXPECT_EQ(p.WorkersFor(0), 5);
+  EXPECT_EQ(p.WorkersFor(1000), 5);
+}
+
+TEST(VotingPolicyTest, DynamicThresholds) {
+  const VotingPolicy p = VotingPolicy::MakeDynamicWithThresholds(5, 10, 100);
+  EXPECT_TRUE(p.is_dynamic());
+  EXPECT_EQ(p.WorkersFor(0), 3);
+  EXPECT_EQ(p.WorkersFor(9), 3);
+  EXPECT_EQ(p.WorkersFor(10), 5);
+  EXPECT_EQ(p.WorkersFor(99), 5);
+  EXPECT_EQ(p.WorkersFor(100), 7);
+  EXPECT_EQ(p.WorkersFor(100000), 7);
+}
+
+TEST(VotingPolicyTest, DynamicFromStructureOrdersThresholds) {
+  GeneratorOptions opt;
+  opt.cardinality = 300;
+  opt.num_known = 2;
+  opt.num_crowd = 1;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  const DominanceStructure s(PreferenceMatrix::FromKnown(ds));
+  Rng rng(5);
+  const VotingPolicy p = VotingPolicy::MakeDynamic(5, s, &rng, 0.3, 0.7);
+  EXPECT_TRUE(p.is_dynamic());
+  EXPECT_LE(p.alpha(), p.beta());
+  EXPECT_GE(p.alpha(), 1u);
+  // Extremes of the frequency range get the extreme worker counts.
+  EXPECT_EQ(p.WorkersFor(0), 3);
+  EXPECT_EQ(p.WorkersFor(1u << 30), 7);
+}
+
+TEST(VotingPolicyTest, DegenerateDominanceFreeData) {
+  // A pure anti-chain: nothing dominates anything, all freqs are 0.
+  auto ds = Dataset::Make(Schema::MakeSynthetic(2, 1),
+                          {{1, 4, 0.1}, {2, 3, 0.2}, {3, 2, 0.3}, {4, 1, 0.4}});
+  ds.status().CheckOK();
+  const DominanceStructure s(PreferenceMatrix::FromKnown(*ds));
+  Rng rng(5);
+  const VotingPolicy p = VotingPolicy::MakeDynamic(5, s, &rng);
+  EXPECT_EQ(p.WorkersFor(0), 3);
+  EXPECT_EQ(p.WorkersFor(1), 7);
+}
+
+TEST(VotingPolicyDeathTest, RejectsEvenWorkers) {
+  EXPECT_DEATH(VotingPolicy::MakeStatic(4), "odd");
+  EXPECT_DEATH(VotingPolicy::MakeStatic(0), "odd");
+}
+
+TEST(VotingPolicyDeathTest, DynamicNeedsThreeWorkers) {
+  EXPECT_DEATH(VotingPolicy::MakeDynamicWithThresholds(1, 1, 2), "");
+}
+
+}  // namespace
+}  // namespace crowdsky

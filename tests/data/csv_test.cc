@@ -1,0 +1,119 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generator.h"
+#include "data/real_datasets.h"
+
+namespace crowdsky {
+namespace {
+
+TEST(CsvTest, ReadBasic) {
+  std::istringstream in(
+      "width:known:max,height:known:max,area:crowd:max\n"
+      "1,2,2\n"
+      "3,4,12\n");
+  auto ds = ReadCsv(in);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 2);
+  EXPECT_EQ(ds->schema().num_known(), 2);
+  EXPECT_EQ(ds->schema().num_crowd(), 1);
+  EXPECT_EQ(ds->schema().attribute(0).direction, Direction::kMax);
+  EXPECT_DOUBLE_EQ(ds->value(1, 2), 12.0);
+}
+
+TEST(CsvTest, ReadWithLabels) {
+  std::istringstream in(
+      "a:known:min,c:crowd:min,label\n"
+      "1,2,first\n"
+      "3,4,second\n");
+  auto ds = ReadCsv(in);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->tuple(0).label, "first");
+  EXPECT_EQ(ds->tuple(1).label, "second");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  std::istringstream in("a:known:min\n1\n\n2\n");
+  auto ds = ReadCsv(in);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsBadHeaderField) {
+  std::istringstream in("a:known\n1\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalidArgument());
+  std::istringstream in2("a:human:min\n1\n");
+  EXPECT_TRUE(ReadCsv(in2).status().IsInvalidArgument());
+  std::istringstream in3("a:known:sideways\n1\n");
+  EXPECT_TRUE(ReadCsv(in3).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsLabelNotLast) {
+  std::istringstream in("label,a:known:min\nx,1\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsWrongFieldCount) {
+  std::istringstream in("a:known:min,b:known:min\n1\n");
+  EXPECT_TRUE(ReadCsv(in).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsNonNumericValue) {
+  std::istringstream in("a:known:min\nfoo\n");
+  auto r = ReadCsv(in);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  GeneratorOptions opt;
+  opt.cardinality = 20;
+  opt.num_known = 3;
+  opt.num_crowd = 2;
+  const Dataset original = GenerateDataset(opt).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+  std::istringstream in(out.str());
+  const Dataset reread = ReadCsv(in).ValueOrDie();
+  ASSERT_TRUE(reread.schema() == original.schema());
+  ASSERT_EQ(reread.size(), original.size());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread.tuple(i).values, original.tuple(i).values) << i;
+  }
+}
+
+TEST(CsvTest, RoundTripWithLabelsAndMixedDirections) {
+  const Dataset original = MakeMoviesDataset();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+  std::istringstream in(out.str());
+  const Dataset reread = ReadCsv(in).ValueOrDie();
+  ASSERT_TRUE(reread.schema() == original.schema());
+  ASSERT_EQ(reread.size(), original.size());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread.tuple(i).label, original.tuple(i).label);
+    EXPECT_EQ(reread.tuple(i).values, original.tuple(i).values);
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Dataset original = MakeRectanglesDataset();
+  const std::string path = ::testing::TempDir() + "/crowdsky_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  const Dataset reread = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(reread.size(), original.size());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/nope.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace crowdsky

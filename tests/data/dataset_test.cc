@@ -1,0 +1,66 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace crowdsky {
+namespace {
+
+Schema TwoPlusOne() { return Schema::MakeSynthetic(2, 1); }
+
+TEST(DatasetTest, MakeAssignsIds) {
+  auto ds = Dataset::Make(TwoPlusOne(), {{1, 2, 3}, {4, 5, 6}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2);
+  EXPECT_EQ(ds->tuple(0).id, 0);
+  EXPECT_EQ(ds->tuple(1).id, 1);
+  EXPECT_DOUBLE_EQ(ds->value(1, 2), 6.0);
+}
+
+TEST(DatasetTest, EmptyDatasetIsValid) {
+  auto ds = Dataset::Make(TwoPlusOne(), {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->empty());
+}
+
+TEST(DatasetTest, RejectsWrongArity) {
+  auto ds = Dataset::Make(TwoPlusOne(), {{1, 2}});
+  EXPECT_TRUE(ds.status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, RejectsNonFiniteValues) {
+  auto ds = Dataset::Make(
+      TwoPlusOne(), {{1, 2, std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_TRUE(ds.status().IsInvalidArgument());
+  auto ds2 = Dataset::Make(
+      TwoPlusOne(), {{std::numeric_limits<double>::infinity(), 2, 3}});
+  EXPECT_TRUE(ds2.status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, LabelsAttachToTuples) {
+  auto ds = Dataset::Make(TwoPlusOne(), {{1, 2, 3}, {4, 5, 6}}, {"x", "y"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->tuple(0).label, "x");
+  EXPECT_EQ(ds->tuple(1).label, "y");
+}
+
+TEST(DatasetTest, RejectsLabelCountMismatch) {
+  auto ds = Dataset::Make(TwoPlusOne(), {{1, 2, 3}}, {"a", "b"});
+  EXPECT_TRUE(ds.status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, ProjectReassignsIds) {
+  auto ds = Dataset::Make(TwoPlusOne(), {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+                          {"a", "b", "c"});
+  ASSERT_TRUE(ds.ok());
+  const Dataset sub = ds->Project({2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.tuple(0).id, 0);
+  EXPECT_EQ(sub.tuple(0).label, "c");
+  EXPECT_DOUBLE_EQ(sub.value(0, 0), 7.0);
+  EXPECT_EQ(sub.tuple(1).label, "a");
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,146 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+namespace {
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  GeneratorOptions opt;
+  opt.cardinality = 0;
+  EXPECT_TRUE(GenerateDataset(opt).status().IsInvalidArgument());
+  opt.cardinality = 10;
+  opt.num_known = 0;
+  opt.num_crowd = 0;
+  EXPECT_TRUE(GenerateDataset(opt).status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, ShapeMatchesOptions) {
+  GeneratorOptions opt;
+  opt.cardinality = 100;
+  opt.num_known = 3;
+  opt.num_crowd = 2;
+  auto ds = GenerateDataset(opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 100);
+  EXPECT_EQ(ds->schema().num_known(), 3);
+  EXPECT_EQ(ds->schema().num_crowd(), 2);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opt;
+  opt.cardinality = 50;
+  opt.seed = 99;
+  const auto a = GenerateDataset(opt).ValueOrDie();
+  const auto b = GenerateDataset(opt).ValueOrDie();
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuple(i).values, b.tuple(i).values);
+  }
+  opt.seed = 100;
+  const auto c = GenerateDataset(opt).ValueOrDie();
+  EXPECT_NE(a.tuple(0).values, c.tuple(0).values);
+}
+
+class GeneratorDistributionTest
+    : public ::testing::TestWithParam<DataDistribution> {};
+
+TEST_P(GeneratorDistributionTest, ValuesInUnitInterval) {
+  GeneratorOptions opt;
+  opt.cardinality = 500;
+  opt.distribution = GetParam();
+  opt.num_known = 4;
+  opt.num_crowd = 1;
+  const auto ds = GenerateDataset(opt).ValueOrDie();
+  for (const Tuple& t : ds.tuples()) {
+    for (const double v : t.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, GeneratorDistributionTest,
+                         ::testing::Values(DataDistribution::kIndependent,
+                                           DataDistribution::kAntiCorrelated,
+                                           DataDistribution::kCorrelated),
+                         [](const auto& pinfo) {
+                           return DataDistributionName(pinfo.param);
+                         });
+
+TEST(GeneratorTest, AntiCorrelatedHasLargerSkylineThanIndependent) {
+  GeneratorOptions opt;
+  opt.cardinality = 2000;
+  opt.num_known = 4;
+  opt.num_crowd = 1;
+  opt.seed = 7;
+  opt.distribution = DataDistribution::kIndependent;
+  const auto ind = GenerateDataset(opt).ValueOrDie();
+  opt.distribution = DataDistribution::kAntiCorrelated;
+  const auto ant = GenerateDataset(opt).ValueOrDie();
+  opt.distribution = DataDistribution::kCorrelated;
+  const auto cor = GenerateDataset(opt).ValueOrDie();
+  const auto sky_size = [](const Dataset& ds) {
+    return ComputeSkylineSFS(PreferenceMatrix::FromKnown(ds)).size();
+  };
+  EXPECT_GT(sky_size(ant), 2 * sky_size(ind));
+  EXPECT_LE(sky_size(cor), sky_size(ind));
+}
+
+TEST(GeneratorTest, AntiCorrelatedCoordinatesAnticorrelate) {
+  GeneratorOptions opt;
+  opt.cardinality = 5000;
+  opt.num_known = 2;
+  opt.num_crowd = 0;
+  opt.distribution = DataDistribution::kAntiCorrelated;
+  const auto ds = GenerateDataset(opt).ValueOrDie();
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(ds.size());
+  for (const Tuple& t : ds.tuples()) {
+    sx += t.values[0];
+    sy += t.values[1];
+    sxx += t.values[0] * t.values[0];
+    syy += t.values[1] * t.values[1];
+    sxy += t.values[0] * t.values[1];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double corr = cov / std::sqrt((sxx / n - sx / n * (sx / n)) *
+                                      (syy / n - sy / n * (sy / n)));
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(GeneratorTest, CorrelatedCoordinatesCorrelate) {
+  GeneratorOptions opt;
+  opt.cardinality = 5000;
+  opt.num_known = 2;
+  opt.num_crowd = 0;
+  opt.distribution = DataDistribution::kCorrelated;
+  const auto ds = GenerateDataset(opt).ValueOrDie();
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(ds.size());
+  for (const Tuple& t : ds.tuples()) {
+    sx += t.values[0];
+    sy += t.values[1];
+    sxx += t.values[0] * t.values[0];
+    syy += t.values[1] * t.values[1];
+    sxy += t.values[0] * t.values[1];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double corr = cov / std::sqrt((sxx / n - sx / n * (sx / n)) *
+                                      (syy / n - sy / n * (sy / n)));
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(GeneratorTest, DistributionNames) {
+  EXPECT_STREQ(DataDistributionName(DataDistribution::kIndependent), "IND");
+  EXPECT_STREQ(DataDistributionName(DataDistribution::kAntiCorrelated),
+               "ANT");
+  EXPECT_STREQ(DataDistributionName(DataDistribution::kCorrelated), "COR");
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,81 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  auto schema = Schema::Make({
+      {"price", Direction::kMin, AttributeKind::kKnown},
+      {"quality", Direction::kMax, AttributeKind::kCrowd},
+  });
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 2);
+  EXPECT_EQ(schema->num_known(), 1);
+  EXPECT_EQ(schema->num_crowd(), 1);
+  EXPECT_EQ(schema->attribute(0).name, "price");
+  EXPECT_EQ(schema->attribute(1).direction, Direction::kMax);
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_TRUE(Schema::Make({}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto schema = Schema::Make({{"", Direction::kMin, AttributeKind::kKnown}});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto schema = Schema::Make({
+      {"a", Direction::kMin, AttributeKind::kKnown},
+      {"a", Direction::kMin, AttributeKind::kCrowd},
+  });
+  EXPECT_EQ(schema.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, IndexPartition) {
+  auto schema = Schema::Make({
+      {"k1", Direction::kMin, AttributeKind::kKnown},
+      {"c1", Direction::kMin, AttributeKind::kCrowd},
+      {"k2", Direction::kMin, AttributeKind::kKnown},
+      {"c2", Direction::kMin, AttributeKind::kCrowd},
+  });
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->known_indices(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(schema->crowd_indices(), (std::vector<int>{1, 3}));
+}
+
+TEST(SchemaTest, IndexOf) {
+  auto schema = Schema::Make({
+      {"k1", Direction::kMin, AttributeKind::kKnown},
+      {"c1", Direction::kMin, AttributeKind::kCrowd},
+  });
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->IndexOf("c1").ValueOrDie(), 1);
+  EXPECT_TRUE(schema->IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, MakeSynthetic) {
+  const Schema schema = Schema::MakeSynthetic(4, 2);
+  EXPECT_EQ(schema.num_known(), 4);
+  EXPECT_EQ(schema.num_crowd(), 2);
+  EXPECT_EQ(schema.attribute(0).name, "K1");
+  EXPECT_EQ(schema.attribute(4).name, "C1");
+  EXPECT_EQ(schema.attribute(5).kind, AttributeKind::kCrowd);
+  for (const AttributeSpec& a : schema.attributes()) {
+    EXPECT_EQ(a.direction, Direction::kMin);
+  }
+}
+
+TEST(SchemaTest, Equality) {
+  const Schema a = Schema::MakeSynthetic(2, 1);
+  const Schema b = Schema::MakeSynthetic(2, 1);
+  const Schema c = Schema::MakeSynthetic(2, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace crowdsky

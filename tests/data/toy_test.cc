@@ -1,0 +1,101 @@
+// Asserts that the embedded toy datasets reproduce the paper's Figure 1 /
+// Figure 3 worked examples: AK values, the AK skyline, the full skyline,
+// and every preference-tree edge the paper derives.
+#include "data/toy.h"
+
+#include <gtest/gtest.h>
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+namespace {
+
+std::vector<int> Ids(const std::string& labels) {
+  std::vector<int> out;
+  for (const char c : labels) out.push_back(ToyId(c));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ToyDatasetTest, ShapeAndLabels) {
+  const Dataset toy = MakeToyDataset();
+  EXPECT_EQ(toy.size(), 12);
+  EXPECT_EQ(toy.schema().num_known(), 2);
+  EXPECT_EQ(toy.schema().num_crowd(), 1);
+  EXPECT_EQ(toy.tuple(ToyId('e')).label, "e");
+}
+
+TEST(ToyDatasetTest, KnownValuesMatchFigure1) {
+  const Dataset toy = MakeToyDataset();
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('a'), 0), 2.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('a'), 1), 8.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('l'), 0), 9.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('l'), 1), 1.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('e'), 0), 4.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('e'), 1), 4.0);
+}
+
+TEST(ToyDatasetTest, KnownSkylineIsBEIL) {
+  const Dataset toy = MakeToyDataset();
+  EXPECT_EQ(ComputeSkylineSFS(PreferenceMatrix::FromKnown(toy)),
+            Ids("beil"));
+}
+
+TEST(ToyDatasetTest, GroundTruthSkylineMatchesExample2) {
+  const Dataset toy = MakeToyDataset();
+  EXPECT_EQ(ComputeGroundTruthSkyline(toy), Ids("befhikl"));
+}
+
+TEST(ToyDatasetTest, HiddenPreferencesMatchPaperEdges) {
+  const Dataset toy = MakeToyDataset();
+  const PreferenceMatrix crowd = PreferenceMatrix::FromCrowd(toy);
+  auto prefers = [&](char u, char v) {
+    return crowd.value(ToyId(u), 0) < crowd.value(ToyId(v), 0);
+  };
+  // Example 2 and Figures 2/4(b).
+  EXPECT_TRUE(prefers('b', 'a'));
+  EXPECT_TRUE(prefers('e', 'b'));
+  EXPECT_TRUE(prefers('e', 'c'));
+  EXPECT_TRUE(prefers('e', 'd'));
+  EXPECT_TRUE(prefers('e', 'g'));
+  EXPECT_TRUE(prefers('f', 'b'));
+  EXPECT_TRUE(prefers('f', 'e'));
+  EXPECT_TRUE(prefers('f', 'j'));
+  EXPECT_TRUE(prefers('h', 'e'));
+  EXPECT_TRUE(prefers('h', 'i'));
+  EXPECT_TRUE(prefers('i', 'l'));
+  EXPECT_TRUE(prefers('k', 'i'));
+}
+
+TEST(AntiCorrelatedToyTest, ShapeAndKnownValues) {
+  const Dataset toy = MakeAntiCorrelatedToyDataset();
+  EXPECT_EQ(toy.size(), 10);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('b'), 0), 2.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('b'), 1), 5.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('h'), 0), 10.0);
+  EXPECT_DOUBLE_EQ(toy.value(ToyId('h'), 1), 5.0);
+}
+
+TEST(AntiCorrelatedToyTest, KnownSkylineIsBEIJ) {
+  const Dataset toy = MakeAntiCorrelatedToyDataset();
+  EXPECT_EQ(ComputeSkylineSFS(PreferenceMatrix::FromKnown(toy)),
+            Ids("beij"));
+}
+
+TEST(AntiCorrelatedToyTest, EDominatesEverythingInAC) {
+  const Dataset toy = MakeAntiCorrelatedToyDataset();
+  const PreferenceMatrix crowd = PreferenceMatrix::FromCrowd(toy);
+  for (int id = 0; id < toy.size(); ++id) {
+    if (id == ToyId('e')) continue;
+    EXPECT_LT(crowd.value(ToyId('e'), 0), crowd.value(id, 0));
+  }
+}
+
+TEST(ToyIdTest, MapsLabels) {
+  EXPECT_EQ(ToyId('a'), 0);
+  EXPECT_EQ(ToyId('l'), 11);
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,102 @@
+// Cross-product of option combinations: every CrowdSky driver must return
+// the ground-truth skyline under a perfect oracle no matter how the
+// feature flags are combined (pruning level x multi-attr strategy x
+// partial knowledge x driver).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/crowdsky.h"
+
+namespace crowdsky {
+namespace {
+
+enum class Driver { kSerial, kPDSet, kPSL };
+
+const char* DriverName(Driver d) {
+  switch (d) {
+    case Driver::kSerial:
+      return "Serial";
+    case Driver::kPDSet:
+      return "PDSet";
+    case Driver::kPSL:
+      return "PSL";
+  }
+  return "?";
+}
+
+using Param = std::tuple<Driver, int /*pruning level*/,
+                         MultiAttributeStrategy, bool /*partial knowledge*/>;
+
+class OptionMatrixTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(OptionMatrixTest, AlwaysMatchesGroundTruth) {
+  const auto [driver, level, strategy, partial] = GetParam();
+  const PruningConfig kLevels[] = {PruningConfig::DSetOnly(),
+                                   PruningConfig::P1(),
+                                   PruningConfig::P1P2(),
+                                   PruningConfig::All()};
+  GeneratorOptions gen;
+  gen.cardinality = 90;
+  gen.num_known = 3;
+  gen.num_crowd = 2;
+  gen.seed = 5;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+
+  std::vector<DynamicBitset> masks(
+      2, DynamicBitset(static_cast<size_t>(ds.size())));
+  if (partial) {
+    for (size_t i = 0; i < 45; ++i) {
+      masks[0].Set(i);
+      masks[1].Set(i * 2);
+    }
+  }
+
+  CrowdSkyOptions options;
+  options.pruning = kLevels[level];
+  options.multi_attr = strategy;
+  if (partial) options.known_crowd_values = &masks;
+
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  AlgoResult r;
+  switch (driver) {
+    case Driver::kSerial:
+      r = RunCrowdSky(ds, &session, options);
+      break;
+    case Driver::kPDSet:
+      r = RunParallelDSet(ds, &session, options);
+      break;
+    case Driver::kPSL:
+      r = RunParallelSL(ds, &session, options);
+      break;
+  }
+  EXPECT_EQ(r.skyline, ComputeGroundTruthSkyline(ds));
+  EXPECT_EQ(r.incomplete_tuples, 0);
+  if (partial) {
+    EXPECT_GT(r.seeded_relations, 0);
+  } else {
+    EXPECT_EQ(r.seeded_relations, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, OptionMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(Driver::kSerial, Driver::kPDSet, Driver::kPSL),
+        ::testing::Range(0, 4),
+        ::testing::Values(MultiAttributeStrategy::kAllAtOnce,
+                          MultiAttributeStrategy::kRoundRobin),
+        ::testing::Bool()),
+    [](const auto& pinfo) {
+      return std::string(DriverName(std::get<0>(pinfo.param))) + "_L" +
+             std::to_string(std::get<1>(pinfo.param)) +
+             (std::get<2>(pinfo.param) ==
+                      MultiAttributeStrategy::kRoundRobin
+                  ? "_rr"
+                  : "_aao") +
+             (std::get<3>(pinfo.param) ? "_partial" : "_missing");
+    });
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,110 @@
+// End-to-end reproduction of the Section 6.2 AMT experiments with the
+// simulated crowd: Q1 (rectangles), Q2 (movies), Q3 (MLB pitchers).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/crowdsky.h"
+
+namespace crowdsky {
+namespace {
+
+std::set<std::string> Labels(const Dataset& ds, const std::vector<int>& ids) {
+  std::set<std::string> out;
+  for (const int id : ids) out.insert(ds.tuple(id).label);
+  return out;
+}
+
+EngineOptions ReliableCrowd(Algorithm algo) {
+  // AMT Masters workers are highly reliable; with omega = 5 voting the
+  // aggregated answers are near-perfect.
+  EngineOptions opt;
+  opt.algorithm = algo;
+  opt.worker.p_correct = 0.95;
+  opt.workers_per_question = 5;
+  opt.seed = 2016;
+  return opt;
+}
+
+TEST(RealWorldTest, Q1RectanglesPerfectPrecisionAndRecall) {
+  const Dataset ds = MakeRectanglesDataset();
+  const auto r =
+      RunSkylineQuery(ds, ReliableCrowd(Algorithm::kCrowdSkySerial));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->accuracy.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r->accuracy.recall, 1.0);
+}
+
+TEST(RealWorldTest, Q2MoviesSkylineMatchesPaper) {
+  const Dataset ds = MakeMoviesDataset();
+  const auto r = RunSkylineQuery(ds, ReliableCrowd(Algorithm::kParallelSL));
+  ASSERT_TRUE(r.ok());
+  const std::set<std::string> expected = {
+      "Avatar",
+      "The Avengers",
+      "Inception",
+      "The Lord of the Rings: The Fellowship of the Ring",
+      "The Dark Knight Rises",
+  };
+  EXPECT_EQ(Labels(ds, r->algo.skyline), expected);
+}
+
+TEST(RealWorldTest, Q3PitchersSkylineIsCyYoungCandidates) {
+  const Dataset ds = MakeMlbPitchersDataset();
+  const auto r = RunSkylineQuery(ds, ReliableCrowd(Algorithm::kParallelSL));
+  ASSERT_TRUE(r.ok());
+  const std::set<std::string> expected = {
+      "Clayton Kershaw", "Bartolo Colon", "Yu Darvish", "Max Scherzer"};
+  EXPECT_EQ(Labels(ds, r->algo.skyline), expected);
+}
+
+TEST(RealWorldTest, CrowdSkyCheaperThanBaselineOnAllThreeQueries) {
+  // Figure 12(a): CrowdSky saves 3-4x on every query.
+  const Dataset queries[] = {MakeRectanglesDataset(), MakeMoviesDataset(),
+                             MakeMlbPitchersDataset()};
+  for (const Dataset& ds : queries) {
+    const auto baseline =
+        RunSkylineQuery(ds, ReliableCrowd(Algorithm::kBaselineSort));
+    const auto crowdsky =
+        RunSkylineQuery(ds, ReliableCrowd(Algorithm::kParallelSL));
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_TRUE(crowdsky.ok());
+    EXPECT_LT(2.0 * crowdsky->cost_usd, baseline->cost_usd);
+  }
+}
+
+TEST(RealWorldTest, RoundOrderingOnAllThreeQueries) {
+  // Figure 12(b): Baseline >> ParallelDSet > ParallelSL.
+  const Dataset queries[] = {MakeRectanglesDataset(), MakeMoviesDataset(),
+                             MakeMlbPitchersDataset()};
+  for (const Dataset& ds : queries) {
+    const auto baseline =
+        RunSkylineQuery(ds, ReliableCrowd(Algorithm::kBaselineSort));
+    const auto pdset =
+        RunSkylineQuery(ds, ReliableCrowd(Algorithm::kParallelDSet));
+    const auto psl =
+        RunSkylineQuery(ds, ReliableCrowd(Algorithm::kParallelSL));
+    ASSERT_TRUE(baseline.ok() && pdset.ok() && psl.ok());
+    EXPECT_GT(baseline->algo.rounds, 80);
+    EXPECT_LT(pdset->algo.rounds, 60);
+    EXPECT_LE(psl->algo.rounds, pdset->algo.rounds);
+    EXPECT_LT(psl->algo.rounds, 30);
+  }
+}
+
+TEST(RealWorldTest, CsvRoundTripThenQuery) {
+  // A downstream user saves a dataset to CSV, reloads it and queries it.
+  const Dataset original = MakeMoviesDataset();
+  const std::string path = ::testing::TempDir() + "/movies.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  const Dataset reloaded = ReadCsvFile(path).ValueOrDie();
+  EngineOptions opt = ReliableCrowd(Algorithm::kCrowdSkySerial);
+  opt.oracle = OracleKind::kPerfect;
+  const auto r = RunSkylineQuery(reloaded, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->accuracy.f1, 1.0);
+}
+
+}  // namespace
+}  // namespace crowdsky

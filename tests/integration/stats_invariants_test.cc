@@ -1,0 +1,145 @@
+// Cross-cutting accounting invariants that must hold for every algorithm,
+// oracle and configuration: question/round/worker/cost bookkeeping is the
+// library's core deliverable, so it gets its own adversarial suite.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/crowdsky.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset Make(int n, int mc, uint64_t seed,
+             DataDistribution dist = DataDistribution::kIndependent) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = 3;
+  opt.num_crowd = mc;
+  opt.distribution = dist;
+  opt.seed = seed;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+class StatsInvariantsTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(StatsInvariantsTest, BookkeepingConsistency) {
+  const Algorithm algo = GetParam();
+  for (const int mc : {1, 2}) {
+    for (const auto dist : {DataDistribution::kIndependent,
+                            DataDistribution::kAntiCorrelated}) {
+      const Dataset ds = Make(120, mc, 5, dist);
+      EngineOptions options;
+      options.algorithm = algo;
+      options.worker.p_correct = 0.85;
+      options.seed = 17;
+      const auto r = RunSkylineQuery(ds, options);
+      ASSERT_TRUE(r.ok());
+      const AlgoResult& a = r->algo;
+
+      // Per-round counts sum to the total number of questions.
+      const int64_t per_round_total =
+          std::accumulate(a.questions_per_round.begin(),
+                          a.questions_per_round.end(), int64_t{0});
+      EXPECT_EQ(per_round_total, a.questions) << AlgorithmName(algo);
+      EXPECT_EQ(static_cast<int64_t>(a.questions_per_round.size()),
+                a.rounds)
+          << AlgorithmName(algo);
+      for (const int64_t q : a.questions_per_round) EXPECT_GT(q, 0);
+
+      // Worker accounting: static voting with omega=5 assigns exactly 5
+      // workers per paid question.
+      EXPECT_EQ(a.worker_answers, 5 * a.questions) << AlgorithmName(algo);
+
+      // Cost equals the model applied to the per-round counts.
+      AmtCostModel model;
+      EXPECT_DOUBLE_EQ(r->cost_usd, model.Cost(a.questions_per_round));
+
+      // The skyline is a sorted duplicate-free subset of the ids.
+      EXPECT_TRUE(std::is_sorted(a.skyline.begin(), a.skyline.end()));
+      EXPECT_TRUE(std::adjacent_find(a.skyline.begin(), a.skyline.end()) ==
+                  a.skyline.end());
+      for (const int id : a.skyline) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, ds.size());
+      }
+      // The AK skyline is always contained in the result (complete
+      // skyline tuples are never questioned away).
+      for (const int id :
+           ComputeSkylineSFS(PreferenceMatrix::FromKnown(ds))) {
+        EXPECT_TRUE(
+            std::binary_search(a.skyline.begin(), a.skyline.end(), id))
+            << AlgorithmName(algo) << " lost AK-skyline tuple " << id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, StatsInvariantsTest,
+    ::testing::Values(Algorithm::kBaselineSort, Algorithm::kBitonicSort,
+                      Algorithm::kCrowdSkySerial, Algorithm::kParallelDSet,
+                      Algorithm::kParallelSL, Algorithm::kUnary),
+    [](const auto& pinfo) { return AlgorithmName(pinfo.param); });
+
+TEST(StatsInvariantsTest, DynamicVotingWorkerCountsWithinBands) {
+  const Dataset ds = Make(200, 1, 9);
+  EngineOptions options;
+  options.algorithm = Algorithm::kCrowdSkySerial;
+  options.dynamic_voting = true;
+  options.workers_per_question = 5;
+  const auto r = RunSkylineQuery(ds, options);
+  ASSERT_TRUE(r.ok());
+  // Every question uses 3, 5 or 7 workers.
+  EXPECT_GE(r->algo.worker_answers, 3 * r->algo.questions);
+  EXPECT_LE(r->algo.worker_answers, 7 * r->algo.questions);
+}
+
+TEST(StatsInvariantsTest, MarketplaceOracleThroughEngine) {
+  const Dataset ds = Make(100, 1, 11);
+  EngineOptions options;
+  options.algorithm = Algorithm::kParallelSL;
+  options.oracle = OracleKind::kMarketplace;
+  options.marketplace.pool_size = 60;
+  options.marketplace.population.p_correct = 0.95;
+  const auto r = RunSkylineQuery(ds, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->algo.worker_answers, 5 * r->algo.questions);
+  EXPECT_GT(r->accuracy.f1, 0.5);
+}
+
+TEST(StatsInvariantsTest, PerfectOracleIdempotentAcrossCalls) {
+  const Dataset ds = Make(150, 1, 13);
+  EngineOptions options;
+  options.algorithm = Algorithm::kParallelDSet;
+  options.oracle = OracleKind::kPerfect;
+  const auto a = RunSkylineQuery(ds, options);
+  const auto b = RunSkylineQuery(ds, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->algo.skyline, b->algo.skyline);
+  EXPECT_EQ(a->algo.questions, b->algo.questions);
+  EXPECT_EQ(a->algo.rounds, b->algo.rounds);
+  EXPECT_EQ(a->algo.questions_per_round, b->algo.questions_per_round);
+}
+
+TEST(StatsInvariantsTest, SeededRelationsOnlyWithMasks) {
+  const Dataset ds = Make(80, 1, 15);
+  EngineOptions options;
+  options.oracle = OracleKind::kPerfect;
+  options.algorithm = Algorithm::kCrowdSkySerial;
+  const auto plain = RunSkylineQuery(ds, options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->algo.seeded_relations, 0);
+
+  std::vector<DynamicBitset> masks(1, DynamicBitset(80));
+  for (size_t i = 0; i < 40; ++i) masks[0].Set(i);
+  options.crowdsky.known_crowd_values = &masks;
+  const auto seeded = RunSkylineQuery(ds, options);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->algo.seeded_relations, 39);
+  EXPECT_LE(seeded->algo.questions, plain->algo.questions);
+  EXPECT_EQ(seeded->algo.skyline, plain->algo.skyline);
+}
+
+}  // namespace
+}  // namespace crowdsky

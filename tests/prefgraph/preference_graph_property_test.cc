@@ -1,0 +1,176 @@
+// Property test: the incremental-closure PreferenceGraph must agree with a
+// brute-force reference (Floyd-Warshall over explicit relations) on random
+// operation sequences, including equivalence merges and contradictions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "prefgraph/preference_graph.h"
+
+namespace crowdsky {
+namespace {
+
+/// Naive reference implementation: keeps the accepted facts and recomputes
+/// the transitive closure from scratch with Floyd-Warshall on every query,
+/// applying the same kFirstWins accept/reject rule as the real graph.
+class ReferenceOrder {
+ public:
+  explicit ReferenceOrder(int n) : n_(n), cls_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) cls_[static_cast<size_t>(i)] = i;
+  }
+
+  bool Prefers(int u, int v) const {
+    if (Equivalent(u, v)) return false;
+    const std::vector<bool> reach = Closure();
+    return reach[Index(Cls(u), Cls(v))];
+  }
+  bool Equivalent(int u, int v) const { return Cls(u) == Cls(v); }
+
+  /// Bulk variant for the cross-check loop: one closure, all pairs.
+  std::vector<bool> PrefersMatrix() const {
+    const std::vector<bool> reach = Closure();
+    std::vector<bool> out(static_cast<size_t>(n_) * static_cast<size_t>(n_),
+                          false);
+    for (int u = 0; u < n_; ++u) {
+      for (int v = 0; v < n_; ++v) {
+        if (u != v && !Equivalent(u, v)) {
+          out[Index(u, v)] = reach[Index(Cls(u), Cls(v))];
+        }
+      }
+    }
+    return out;
+  }
+
+  void AddPreference(int u, int v) {
+    if (Equivalent(u, v) || Prefers(v, u)) return;  // contradiction dropped
+    strict_edges_.emplace_back(u, v);
+  }
+
+  void AddEquivalence(int u, int v) {
+    if (Equivalent(u, v)) return;
+    if (Prefers(u, v) || Prefers(v, u)) return;  // contradiction dropped
+    const int keep = Cls(u);
+    const int gone = Cls(v);
+    for (int& c : cls_) {
+      if (c == gone) c = keep;
+    }
+  }
+
+ private:
+  int Cls(int x) const { return cls_[static_cast<size_t>(x)]; }
+  size_t Index(int a, int b) const {
+    return static_cast<size_t>(a) * static_cast<size_t>(n_) +
+           static_cast<size_t>(b);
+  }
+  std::vector<bool> Closure() const {
+    std::vector<bool> reach(static_cast<size_t>(n_) *
+                                static_cast<size_t>(n_),
+                            false);
+    for (const auto& [u, v] : strict_edges_) {
+      reach[Index(Cls(u), Cls(v))] = true;
+    }
+    for (int k = 0; k < n_; ++k) {
+      for (int i = 0; i < n_; ++i) {
+        if (!reach[Index(i, k)]) continue;
+        for (int j = 0; j < n_; ++j) {
+          if (reach[Index(k, j)]) reach[Index(i, j)] = true;
+        }
+      }
+    }
+    return reach;
+  }
+
+  int n_;
+  std::vector<std::pair<int, int>> strict_edges_;
+  std::vector<int> cls_;
+};
+
+class PrefGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefGraphPropertyTest, MatchesReferenceOnRandomOps) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int n = 24;
+  PreferenceGraph graph(n, ContradictionPolicy::kFirstWins);
+  ReferenceOrder ref(n);
+  for (int op = 0; op < 250; ++op) {
+    const int u = static_cast<int>(rng.NextBounded(n));
+    int v = static_cast<int>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (rng.Bernoulli(0.85)) {
+      // Mirror the graph's accept/reject decision in the reference by
+      // applying the same kFirstWins rule.
+      ref.AddPreference(u, v);
+      ASSERT_TRUE(graph.AddPreference(u, v).ok());
+    } else {
+      ref.AddEquivalence(u, v);
+      ASSERT_TRUE(graph.AddEquivalence(u, v).ok());
+    }
+    // Full cross-check every few operations (it is O(n^2)).
+    if (op % 10 == 0 || op == 249) {
+      const std::vector<bool> expected = ref.PrefersMatrix();
+      for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+          if (a == b) continue;
+          ASSERT_EQ(graph.Prefers(a, b),
+                    static_cast<bool>(expected[static_cast<size_t>(a) * n +
+                                               static_cast<size_t>(b)]))
+              << "op " << op << " pair " << a << "," << b;
+          ASSERT_EQ(graph.Equivalent(a, b), ref.Equivalent(a, b))
+              << "op " << op << " pair " << a << "," << b;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefGraphPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(PrefGraphPropertyTest, StrictOrderIsAlwaysAcyclic) {
+  Rng rng(777);
+  const int n = 40;
+  PreferenceGraph g(n);
+  for (int op = 0; op < 2000; ++op) {
+    const int u = static_cast<int>(rng.NextBounded(n));
+    const int v = static_cast<int>(rng.NextBounded(n));
+    if (u == v) continue;
+    ASSERT_TRUE(g.AddPreference(u, v).ok());
+  }
+  for (int a = 0; a < n; ++a) {
+    EXPECT_FALSE(g.Prefers(a, a));
+    for (int b = 0; b < n; ++b) {
+      EXPECT_FALSE(g.Prefers(a, b) && g.Prefers(b, a));
+    }
+  }
+}
+
+TEST(PrefGraphPropertyTest, TotalOrderChainClosureComplete) {
+  const int n = 128;
+  PreferenceGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(g.AddPreference(i, i + 1).ok());
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_TRUE(g.Prefers(a, b));
+      EXPECT_FALSE(g.Prefers(b, a));
+    }
+  }
+}
+
+TEST(PrefGraphPropertyTest, ReverseInsertionOrderChain) {
+  // Insert edges from the tail of the chain backwards — exercises the
+  // ancestor-side propagation of the closure update.
+  const int n = 100;
+  PreferenceGraph g(n);
+  for (int i = n - 2; i >= 0; --i) {
+    ASSERT_TRUE(g.AddPreference(i, i + 1).ok());
+  }
+  EXPECT_TRUE(g.Prefers(0, n - 1));
+  EXPECT_TRUE(g.Prefers(25, 75));
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,146 @@
+#include "skyline/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset SmallMixed() {
+  auto schema = Schema::Make({
+      {"min_attr", Direction::kMin, AttributeKind::kKnown},
+      {"max_attr", Direction::kMax, AttributeKind::kKnown},
+      {"crowd_min", Direction::kMin, AttributeKind::kCrowd},
+  });
+  schema.status().CheckOK();
+  auto ds = Dataset::Make(std::move(schema).ValueOrDie(), {
+                                                              {1, 9, 0.5},
+                                                              {2, 9, 0.7},
+                                                              {1, 5, 0.2},
+                                                              {2, 4, 0.7},
+                                                          });
+  ds.status().CheckOK();
+  return std::move(ds).ValueOrDie();
+}
+
+TEST(PreferenceMatrixTest, NormalizesMaxAttributes) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  EXPECT_EQ(m.size(), 4);
+  EXPECT_EQ(m.dims(), 2);
+  EXPECT_DOUBLE_EQ(m.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.value(0, 1), -9.0);  // MAX negated
+}
+
+TEST(PreferenceMatrixTest, DominatesRespectsDirections) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  // Tuple 0 = (1 min, 9 max) dominates tuple 1 = (2, 9) and 2 = (1, 5).
+  EXPECT_TRUE(m.Dominates(0, 1));
+  EXPECT_TRUE(m.Dominates(0, 2));
+  EXPECT_FALSE(m.Dominates(1, 0));
+  // 2 vs 3: (1,5) vs (2,4): 2 better on both.
+  EXPECT_TRUE(m.Dominates(2, 3));
+  // 1 vs 2: (2,9) vs (1,5): incomparable.
+  EXPECT_FALSE(m.Dominates(1, 2));
+  EXPECT_FALSE(m.Dominates(2, 1));
+}
+
+TEST(PreferenceMatrixTest, CompareClassifications) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  EXPECT_EQ(m.Compare(0, 1), PartialOrder::kDominates);
+  EXPECT_EQ(m.Compare(1, 0), PartialOrder::kDominatedBy);
+  EXPECT_EQ(m.Compare(1, 2), PartialOrder::kIncomparable);
+  EXPECT_EQ(m.Compare(0, 0), PartialOrder::kEqual);
+}
+
+TEST(PreferenceMatrixTest, SelfNeverDominates) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_FALSE(m.Dominates(i, i));
+  }
+}
+
+TEST(PreferenceMatrixTest, EqualRowsDoNotDominate) {
+  auto ds = Dataset::Make(Schema::MakeSynthetic(2, 0),
+                          {{1, 2}, {1, 2}});
+  ds.status().CheckOK();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(*ds);
+  EXPECT_FALSE(m.Dominates(0, 1));
+  EXPECT_FALSE(m.Dominates(1, 0));
+  EXPECT_TRUE(m.EqualRows(0, 1));
+}
+
+TEST(PreferenceMatrixTest, FromCrowdSelectsCrowdAttrs) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix c = PreferenceMatrix::FromCrowd(ds);
+  EXPECT_EQ(c.dims(), 1);
+  EXPECT_DOUBLE_EQ(c.value(2, 0), 0.2);
+}
+
+TEST(PreferenceMatrixTest, FromAllIncludesEverything) {
+  const Dataset ds = SmallMixed();
+  const PreferenceMatrix a = PreferenceMatrix::FromAll(ds);
+  EXPECT_EQ(a.dims(), 3);
+}
+
+TEST(PreferenceMatrixTest, FromRaw) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(2, 2, {1.0, 2.0, 0.5, 3.0});
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.Compare(0, 1), PartialOrder::kIncomparable);
+}
+
+TEST(PreferenceMatrixTest, ScoreIsMonotoneUnderDominance) {
+  GeneratorOptions opt;
+  opt.cardinality = 200;
+  opt.num_known = 3;
+  opt.num_crowd = 0;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (int s = 0; s < m.size(); ++s) {
+    for (int t = 0; t < m.size(); ++t) {
+      if (m.Dominates(s, t)) {
+        EXPECT_LT(m.Score(s), m.Score(t));
+      }
+    }
+  }
+}
+
+TEST(DominancePropertyTest, TransitivityOnRandomData) {
+  GeneratorOptions opt;
+  opt.cardinality = 60;
+  opt.num_known = 2;
+  opt.num_crowd = 0;
+  opt.distribution = DataDistribution::kAntiCorrelated;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  for (int a = 0; a < m.size(); ++a) {
+    for (int b = 0; b < m.size(); ++b) {
+      if (!m.Dominates(a, b)) continue;
+      EXPECT_FALSE(m.Dominates(b, a)) << "antisymmetry";
+      for (int c = 0; c < m.size(); ++c) {
+        if (m.Dominates(b, c)) {
+          EXPECT_TRUE(m.Dominates(a, c)) << "transitivity";
+        }
+      }
+    }
+  }
+}
+
+TEST(DominanceToyTest, PaperExampleRelations) {
+  const Dataset toy = MakeToyDataset();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(toy);
+  EXPECT_TRUE(m.Dominates(ToyId('b'), ToyId('a')));
+  EXPECT_TRUE(m.Dominates(ToyId('e'), ToyId('g')));
+  EXPECT_TRUE(m.Dominates(ToyId('d'), ToyId('f')));
+  EXPECT_FALSE(m.Dominates(ToyId('a'), ToyId('d')));
+  EXPECT_FALSE(m.Dominates(ToyId('d'), ToyId('a')));
+}
+
+}  // namespace
+}  // namespace crowdsky

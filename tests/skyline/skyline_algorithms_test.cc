@@ -1,0 +1,153 @@
+#include "skyline/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bitset.h"
+#include "data/generator.h"
+#include "data/toy.h"
+
+namespace crowdsky {
+namespace {
+
+/// Brute-force reference skyline.
+std::vector<int> ReferenceSkyline(const PreferenceMatrix& m) {
+  std::vector<int> out;
+  for (int t = 0; t < m.size(); ++t) {
+    bool dominated = false;
+    for (int s = 0; s < m.size() && !dominated; ++s) {
+      dominated = m.Dominates(s, t);
+    }
+    if (!dominated) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(SkylineAlgorithmsTest, EmptyInput) {
+  const PreferenceMatrix m = PreferenceMatrix::FromRaw(0, 2, {});
+  EXPECT_TRUE(ComputeSkylineBNL(m).empty());
+  EXPECT_TRUE(ComputeSkylineSFS(m).empty());
+}
+
+TEST(SkylineAlgorithmsTest, SingleTuple) {
+  const PreferenceMatrix m = PreferenceMatrix::FromRaw(1, 2, {1, 2});
+  EXPECT_EQ(ComputeSkylineBNL(m), std::vector<int>{0});
+  EXPECT_EQ(ComputeSkylineSFS(m), std::vector<int>{0});
+}
+
+TEST(SkylineAlgorithmsTest, AllDuplicatesStay) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(3, 2, {1, 2, 1, 2, 1, 2});
+  EXPECT_EQ(ComputeSkylineBNL(m), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ComputeSkylineSFS(m), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SkylineAlgorithmsTest, TotalOrderChainGivesSingleton) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(4, 2, {4, 4, 3, 3, 2, 2, 1, 1});
+  EXPECT_EQ(ComputeSkylineSFS(m), std::vector<int>{3});
+  EXPECT_EQ(ComputeSkylineBNL(m), std::vector<int>{3});
+}
+
+TEST(SkylineAlgorithmsTest, PureAntichainKeepsEverything) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(4, 2, {1, 4, 2, 3, 3, 2, 4, 1});
+  EXPECT_EQ(ComputeSkylineSFS(m), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SkylineAlgorithmsTest, ToyDatasetKnownSkyline) {
+  const Dataset toy = MakeToyDataset();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(toy);
+  const std::vector<int> expected = {ToyId('b'), ToyId('e'), ToyId('i'),
+                                     ToyId('l')};
+  EXPECT_EQ(ComputeSkylineBNL(m), expected);
+  EXPECT_EQ(ComputeSkylineSFS(m), expected);
+}
+
+using SweepParam = std::tuple<DataDistribution, int, int>;
+
+class SkylineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SkylineSweepTest, BnlSfsAndBruteForceAgree) {
+  const auto [dist, n, d] = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    GeneratorOptions opt;
+    opt.cardinality = n;
+    opt.num_known = d;
+    opt.num_crowd = 0;
+    opt.distribution = dist;
+    opt.seed = seed;
+    const Dataset ds = GenerateDataset(opt).ValueOrDie();
+    const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+    const std::vector<int> reference = ReferenceSkyline(m);
+    EXPECT_EQ(ComputeSkylineBNL(m), reference) << "seed " << seed;
+    EXPECT_EQ(ComputeSkylineSFS(m), reference) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SkylineSweepTest,
+    ::testing::Combine(
+        ::testing::Values(DataDistribution::kIndependent,
+                          DataDistribution::kAntiCorrelated,
+                          DataDistribution::kCorrelated),
+        ::testing::Values(30, 120, 400),
+        ::testing::Values(2, 3, 5)),
+    [](const auto& pinfo) {
+      return std::string(DataDistributionName(std::get<0>(pinfo.param))) +
+             "_n" + std::to_string(std::get<1>(pinfo.param)) + "_d" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(SkylineAlgorithmsTest, SkylineMembersNeverDominateEachOther) {
+  GeneratorOptions opt;
+  opt.cardinality = 300;
+  opt.num_known = 3;
+  opt.num_crowd = 0;
+  opt.distribution = DataDistribution::kAntiCorrelated;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  const std::vector<int> sky = ComputeSkylineSFS(m);
+  for (const int a : sky) {
+    for (const int b : sky) {
+      EXPECT_FALSE(m.Dominates(a, b));
+    }
+  }
+}
+
+TEST(SkylineAlgorithmsTest, NonSkylineTuplesAreDominatedBySkylineMember) {
+  GeneratorOptions opt;
+  opt.cardinality = 300;
+  opt.num_known = 3;
+  opt.num_crowd = 0;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  const std::vector<int> sky = ComputeSkylineSFS(m);
+  DynamicBitset in_sky(static_cast<size_t>(m.size()));
+  for (const int s : sky) in_sky.Set(static_cast<size_t>(s));
+  for (int t = 0; t < m.size(); ++t) {
+    if (in_sky.Test(static_cast<size_t>(t))) continue;
+    bool dominated_by_sky = false;
+    for (const int s : sky) {
+      if (m.Dominates(s, t)) {
+        dominated_by_sky = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_by_sky) << t;
+  }
+}
+
+TEST(SkylineAlgorithmsTest, GroundTruthUsesAllAttributes) {
+  const Dataset toy = MakeToyDataset();
+  const std::vector<int> truth = ComputeGroundTruthSkyline(toy);
+  // {b, e, f, h, i, k, l} from Example 2.
+  const std::vector<int> expected = {ToyId('b'), ToyId('e'), ToyId('f'),
+                                     ToyId('h'), ToyId('i'), ToyId('k'),
+                                     ToyId('l')};
+  EXPECT_EQ(truth, expected);
+}
+
+}  // namespace
+}  // namespace crowdsky
