@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy_comparison.dir/fig11_accuracy_comparison.cc.o"
+  "CMakeFiles/fig11_accuracy_comparison.dir/fig11_accuracy_comparison.cc.o.d"
+  "fig11_accuracy_comparison"
+  "fig11_accuracy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

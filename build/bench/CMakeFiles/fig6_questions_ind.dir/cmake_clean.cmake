@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_questions_ind.dir/fig6_questions_ind.cc.o"
+  "CMakeFiles/fig6_questions_ind.dir/fig6_questions_ind.cc.o.d"
+  "fig6_questions_ind"
+  "fig6_questions_ind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_questions_ind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

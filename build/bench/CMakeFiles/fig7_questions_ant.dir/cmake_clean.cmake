@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_questions_ant.dir/fig7_questions_ant.cc.o"
+  "CMakeFiles/fig7_questions_ant.dir/fig7_questions_ant.cc.o.d"
+  "fig7_questions_ant"
+  "fig7_questions_ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_questions_ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rounds_dimensionality.dir/fig9_rounds_dimensionality.cc.o"
+  "CMakeFiles/fig9_rounds_dimensionality.dir/fig9_rounds_dimensionality.cc.o.d"
+  "fig9_rounds_dimensionality"
+  "fig9_rounds_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rounds_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_walkthrough.dir/toy_walkthrough.cc.o"
+  "CMakeFiles/toy_walkthrough.dir/toy_walkthrough.cc.o.d"
+  "toy_walkthrough"
+  "toy_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

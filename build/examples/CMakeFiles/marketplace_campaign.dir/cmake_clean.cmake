@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_campaign.dir/marketplace_campaign.cpp.o"
+  "CMakeFiles/marketplace_campaign.dir/marketplace_campaign.cpp.o.d"
+  "marketplace_campaign"
+  "marketplace_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlb_scouting.dir/mlb_scouting.cpp.o"
+  "CMakeFiles/mlb_scouting.dir/mlb_scouting.cpp.o.d"
+  "mlb_scouting"
+  "mlb_scouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlb_scouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

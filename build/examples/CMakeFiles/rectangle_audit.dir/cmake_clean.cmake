@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectangle_audit.dir/rectangle_audit.cpp.o"
+  "CMakeFiles/rectangle_audit.dir/rectangle_audit.cpp.o.d"
+  "rectangle_audit"
+  "rectangle_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectangle_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

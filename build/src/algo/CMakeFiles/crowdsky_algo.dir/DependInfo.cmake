@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baseline_sort.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/baseline_sort.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/baseline_sort.cc.o.d"
+  "/root/repo/src/algo/crowd_knowledge.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/crowd_knowledge.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/crowd_knowledge.cc.o.d"
+  "/root/repo/src/algo/crowdsky_algorithm.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/crowdsky_algorithm.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/crowdsky_algorithm.cc.o.d"
+  "/root/repo/src/algo/evaluator.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/evaluator.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/evaluator.cc.o.d"
+  "/root/repo/src/algo/metrics.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/metrics.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/metrics.cc.o.d"
+  "/root/repo/src/algo/parallel_dset.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/parallel_dset.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/parallel_dset.cc.o.d"
+  "/root/repo/src/algo/parallel_sl.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/parallel_sl.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/parallel_sl.cc.o.d"
+  "/root/repo/src/algo/unary.cc" "src/algo/CMakeFiles/crowdsky_algo.dir/unary.cc.o" "gcc" "src/algo/CMakeFiles/crowdsky_algo.dir/unary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdsky_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdsky_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/crowdsky_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefgraph/CMakeFiles/crowdsky_prefgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdsky_crowd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_algo.dir/baseline_sort.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/baseline_sort.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/crowd_knowledge.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/crowd_knowledge.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/crowdsky_algorithm.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/crowdsky_algorithm.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/evaluator.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/evaluator.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/metrics.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/metrics.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/parallel_dset.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/parallel_dset.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/parallel_sl.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/parallel_sl.cc.o.d"
+  "CMakeFiles/crowdsky_algo.dir/unary.cc.o"
+  "CMakeFiles/crowdsky_algo.dir/unary.cc.o.d"
+  "libcrowdsky_algo.a"
+  "libcrowdsky_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_common.dir/logging.cc.o"
+  "CMakeFiles/crowdsky_common.dir/logging.cc.o.d"
+  "CMakeFiles/crowdsky_common.dir/status.cc.o"
+  "CMakeFiles/crowdsky_common.dir/status.cc.o.d"
+  "CMakeFiles/crowdsky_common.dir/string_util.cc.o"
+  "CMakeFiles/crowdsky_common.dir/string_util.cc.o.d"
+  "libcrowdsky_common.a"
+  "libcrowdsky_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdsky_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_core.dir/engine.cc.o"
+  "CMakeFiles/crowdsky_core.dir/engine.cc.o.d"
+  "libcrowdsky_core.a"
+  "libcrowdsky_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

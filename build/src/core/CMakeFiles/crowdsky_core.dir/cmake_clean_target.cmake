@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdsky_core.a"
+)

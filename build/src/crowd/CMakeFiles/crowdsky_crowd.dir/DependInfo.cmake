@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/marketplace.cc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/marketplace.cc.o" "gcc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/marketplace.cc.o.d"
+  "/root/repo/src/crowd/oracle.cc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/oracle.cc.o" "gcc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/oracle.cc.o.d"
+  "/root/repo/src/crowd/session.cc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/session.cc.o" "gcc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/session.cc.o.d"
+  "/root/repo/src/crowd/voting.cc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/voting.cc.o" "gcc" "src/crowd/CMakeFiles/crowdsky_crowd.dir/voting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdsky_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdsky_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/crowdsky_skyline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

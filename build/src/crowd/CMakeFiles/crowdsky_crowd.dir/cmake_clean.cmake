@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_crowd.dir/marketplace.cc.o"
+  "CMakeFiles/crowdsky_crowd.dir/marketplace.cc.o.d"
+  "CMakeFiles/crowdsky_crowd.dir/oracle.cc.o"
+  "CMakeFiles/crowdsky_crowd.dir/oracle.cc.o.d"
+  "CMakeFiles/crowdsky_crowd.dir/session.cc.o"
+  "CMakeFiles/crowdsky_crowd.dir/session.cc.o.d"
+  "CMakeFiles/crowdsky_crowd.dir/voting.cc.o"
+  "CMakeFiles/crowdsky_crowd.dir/voting.cc.o.d"
+  "libcrowdsky_crowd.a"
+  "libcrowdsky_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

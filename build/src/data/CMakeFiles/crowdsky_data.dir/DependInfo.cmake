@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/crowdsky_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/crowdsky_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/crowdsky_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/real_datasets.cc" "src/data/CMakeFiles/crowdsky_data.dir/real_datasets.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/real_datasets.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/crowdsky_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/toy.cc" "src/data/CMakeFiles/crowdsky_data.dir/toy.cc.o" "gcc" "src/data/CMakeFiles/crowdsky_data.dir/toy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdsky_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

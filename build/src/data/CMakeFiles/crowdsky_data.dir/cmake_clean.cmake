@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_data.dir/csv.cc.o"
+  "CMakeFiles/crowdsky_data.dir/csv.cc.o.d"
+  "CMakeFiles/crowdsky_data.dir/dataset.cc.o"
+  "CMakeFiles/crowdsky_data.dir/dataset.cc.o.d"
+  "CMakeFiles/crowdsky_data.dir/generator.cc.o"
+  "CMakeFiles/crowdsky_data.dir/generator.cc.o.d"
+  "CMakeFiles/crowdsky_data.dir/real_datasets.cc.o"
+  "CMakeFiles/crowdsky_data.dir/real_datasets.cc.o.d"
+  "CMakeFiles/crowdsky_data.dir/schema.cc.o"
+  "CMakeFiles/crowdsky_data.dir/schema.cc.o.d"
+  "CMakeFiles/crowdsky_data.dir/toy.cc.o"
+  "CMakeFiles/crowdsky_data.dir/toy.cc.o.d"
+  "libcrowdsky_data.a"
+  "libcrowdsky_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

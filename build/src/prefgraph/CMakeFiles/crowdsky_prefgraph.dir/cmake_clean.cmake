@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_prefgraph.dir/preference_graph.cc.o"
+  "CMakeFiles/crowdsky_prefgraph.dir/preference_graph.cc.o.d"
+  "libcrowdsky_prefgraph.a"
+  "libcrowdsky_prefgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_prefgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

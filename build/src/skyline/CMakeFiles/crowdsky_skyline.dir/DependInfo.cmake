@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skyline/algorithms.cc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/algorithms.cc.o" "gcc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/algorithms.cc.o.d"
+  "/root/repo/src/skyline/dominance.cc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/dominance.cc.o" "gcc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/dominance.cc.o.d"
+  "/root/repo/src/skyline/dominance_structure.cc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/dominance_structure.cc.o" "gcc" "src/skyline/CMakeFiles/crowdsky_skyline.dir/dominance_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdsky_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdsky_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_skyline.dir/algorithms.cc.o"
+  "CMakeFiles/crowdsky_skyline.dir/algorithms.cc.o.d"
+  "CMakeFiles/crowdsky_skyline.dir/dominance.cc.o"
+  "CMakeFiles/crowdsky_skyline.dir/dominance.cc.o.d"
+  "CMakeFiles/crowdsky_skyline.dir/dominance_structure.cc.o"
+  "CMakeFiles/crowdsky_skyline.dir/dominance_structure.cc.o.d"
+  "libcrowdsky_skyline.a"
+  "libcrowdsky_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sort_test.dir/baseline_sort_test.cc.o"
+  "CMakeFiles/baseline_sort_test.dir/baseline_sort_test.cc.o.d"
+  "baseline_sort_test"
+  "baseline_sort_test.pdb"
+  "baseline_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

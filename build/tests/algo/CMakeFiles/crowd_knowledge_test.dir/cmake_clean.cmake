@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_knowledge_test.dir/crowd_knowledge_test.cc.o"
+  "CMakeFiles/crowd_knowledge_test.dir/crowd_knowledge_test.cc.o.d"
+  "crowd_knowledge_test"
+  "crowd_knowledge_test.pdb"
+  "crowd_knowledge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_test.dir/noisy_test.cc.o"
+  "CMakeFiles/noisy_test.dir/noisy_test.cc.o.d"
+  "noisy_test"
+  "noisy_test.pdb"
+  "noisy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_knowledge_test.dir/partial_knowledge_test.cc.o"
+  "CMakeFiles/partial_knowledge_test.dir/partial_knowledge_test.cc.o.d"
+  "partial_knowledge_test"
+  "partial_knowledge_test.pdb"
+  "partial_knowledge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

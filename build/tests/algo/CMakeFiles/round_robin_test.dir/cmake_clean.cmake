@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_robin_test.dir/round_robin_test.cc.o"
+  "CMakeFiles/round_robin_test.dir/round_robin_test.cc.o.d"
+  "round_robin_test"
+  "round_robin_test.pdb"
+  "round_robin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_robin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

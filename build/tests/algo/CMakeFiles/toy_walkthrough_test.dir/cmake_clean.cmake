@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_walkthrough_test.dir/toy_walkthrough_test.cc.o"
+  "CMakeFiles/toy_walkthrough_test.dir/toy_walkthrough_test.cc.o.d"
+  "toy_walkthrough_test"
+  "toy_walkthrough_test.pdb"
+  "toy_walkthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

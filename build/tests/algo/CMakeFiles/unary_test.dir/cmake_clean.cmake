@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unary_test.dir/unary_test.cc.o"
+  "CMakeFiles/unary_test.dir/unary_test.cc.o.d"
+  "unary_test"
+  "unary_test.pdb"
+  "unary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/algo
+# Build directory: /root/repo/build/tests/algo
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algo/crowd_knowledge_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/toy_walkthrough_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/baseline_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/unary_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/latency_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/noisy_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/budget_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/round_robin_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/algo/partial_knowledge_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crowd
+# Build directory: /root/repo/build/tests/crowd
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crowd/voting_test[1]_include.cmake")
+include("/root/repo/build/tests/crowd/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/crowd/session_test[1]_include.cmake")
+include("/root/repo/build/tests/crowd/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/crowd/marketplace_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_datasets_test.dir/real_datasets_test.cc.o"
+  "CMakeFiles/real_datasets_test.dir/real_datasets_test.cc.o.d"
+  "real_datasets_test"
+  "real_datasets_test.pdb"
+  "real_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

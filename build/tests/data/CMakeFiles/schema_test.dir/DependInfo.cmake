@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/schema_test.cc" "tests/data/CMakeFiles/schema_test.dir/schema_test.cc.o" "gcc" "tests/data/CMakeFiles/schema_test.dir/schema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdsky_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/crowdsky_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdsky_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefgraph/CMakeFiles/crowdsky_prefgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/crowdsky_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdsky_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crowdsky_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/data
+# Build directory: /root/repo/build/tests/data
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/data/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/data/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/data/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/data/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/data/toy_test[1]_include.cmake")
+include("/root/repo/build/tests/data/real_datasets_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_world_test.dir/real_world_test.cc.o"
+  "CMakeFiles/real_world_test.dir/real_world_test.cc.o.d"
+  "real_world_test"
+  "real_world_test.pdb"
+  "real_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

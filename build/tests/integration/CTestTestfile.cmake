@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/real_world_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/stats_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/option_matrix_test[1]_include.cmake")

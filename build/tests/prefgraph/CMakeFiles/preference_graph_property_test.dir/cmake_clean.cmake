@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_graph_property_test.dir/preference_graph_property_test.cc.o"
+  "CMakeFiles/preference_graph_property_test.dir/preference_graph_property_test.cc.o.d"
+  "preference_graph_property_test"
+  "preference_graph_property_test.pdb"
+  "preference_graph_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_graph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominance_structure_test.dir/dominance_structure_test.cc.o"
+  "CMakeFiles/dominance_structure_test.dir/dominance_structure_test.cc.o.d"
+  "dominance_structure_test"
+  "dominance_structure_test.pdb"
+  "dominance_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominance_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

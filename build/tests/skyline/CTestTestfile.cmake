@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/skyline
+# Build directory: /root/repo/build/tests/skyline
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/skyline/dominance_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline/skyline_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline/dominance_structure_test[1]_include.cmake")
