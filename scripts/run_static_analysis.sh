@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Static-analysis driver for CrowdSky.
+#
+# Runs clang-tidy (config: repo-root .clang-tidy) over every translation
+# unit in compile_commands.json that lives under the requested source
+# directories. When clang-tidy is not installed -- the default CI image
+# only ships gcc -- it degrades to a strict `g++ -fsyntax-only` replay of
+# the same compilation database so the script still gates on real
+# front-end diagnostics instead of silently passing.
+#
+# Usage:
+#   scripts/run_static_analysis.sh [build-dir] [dir ...]
+#
+#   build-dir  directory holding compile_commands.json
+#              (default: build, then build/release)
+#   dir ...    source subtrees to analyze (default: src tests bench examples)
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-}"
+if [[ -n "${build_dir}" ]]; then
+  shift
+else
+  for candidate in build build/release build/asan-ubsan; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: no compile_commands.json found." >&2
+  echo "Configure first, e.g.: cmake --preset release" >&2
+  exit 2
+fi
+
+dirs=("$@")
+if [[ ${#dirs[@]} -eq 0 ]]; then
+  dirs=(src tests bench examples)
+fi
+
+# Collect the translation units under the requested subtrees.
+mapfile -t sources < <(python3 - "${build_dir}/compile_commands.json" "${dirs[@]}" <<'PY'
+import json
+import os
+import sys
+
+db_path, roots = sys.argv[1], sys.argv[2:]
+repo = os.getcwd()
+prefixes = tuple(os.path.join(repo, r) + os.sep for r in roots)
+seen = []
+for entry in json.load(open(db_path)):
+    path = os.path.normpath(
+        os.path.join(entry["directory"], entry["file"]))
+    if path.startswith(prefixes) and path not in seen:
+        seen.append(path)
+print("\n".join(seen))
+PY
+)
+
+if [[ ${#sources[@]} -eq 0 || -z "${sources[0]}" ]]; then
+  echo "error: compile_commands.json has no entries under: ${dirs[*]}" >&2
+  exit 2
+fi
+
+echo "Analyzing ${#sources[@]} translation units (database: ${build_dir})"
+
+# Prefer a real clang-tidy, including versioned installs.
+clang_tidy=""
+for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+  if command -v "${cand}" >/dev/null 2>&1; then
+    clang_tidy="${cand}"
+    break
+  fi
+done
+
+status=0
+if [[ -n "${clang_tidy}" ]]; then
+  echo "Using $("${clang_tidy}" --version | head -n1)"
+  jobs="$(nproc 2>/dev/null || echo 4)"
+  printf '%s\0' "${sources[@]}" |
+    xargs -0 -n 8 -P "${jobs}" \
+      "${clang_tidy}" -p "${build_dir}" --quiet --warnings-as-errors='*' ||
+    status=$?
+else
+  echo "clang-tidy not found; falling back to g++ -fsyntax-only replay."
+  # Replay each database entry with its recorded flags so include paths,
+  # defines and the language standard match the real build exactly.
+  while IFS= read -r line; do
+    src="${line%%$'\t'*}"
+    args="${line#*$'\t'}"
+    # shellcheck disable=SC2086  # args is a pre-tokenized flag string.
+    if ! g++ -fsyntax-only -Werror ${args} "${src}"; then
+      echo "FAILED: ${src}" >&2
+      status=1
+    fi
+  done < <(python3 - "${build_dir}/compile_commands.json" "${sources[@]}" <<'PY'
+import json
+import os
+import shlex
+import sys
+
+db_path, wanted = sys.argv[1], set(sys.argv[2:])
+for entry in json.load(open(db_path)):
+    path = os.path.normpath(
+        os.path.join(entry["directory"], entry["file"]))
+    if path not in wanted:
+        continue
+    argv = (shlex.split(entry["command"])
+            if "command" in entry else entry["arguments"])
+    keep = []
+    skip_next = False
+    for arg in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-c"):
+            skip_next = arg == "-o"
+            continue
+        if path == os.path.normpath(os.path.join(entry["directory"], arg)):
+            continue
+        if arg.startswith(("-I", "-isystem")) or arg.startswith("-"):
+            # Re-anchor relative include paths at the build directory.
+            if arg.startswith("-I") and not os.path.isabs(arg[2:]):
+                arg = "-I" + os.path.join(entry["directory"], arg[2:])
+            keep.append(arg)
+    print(path + "\t" + " ".join(shlex.quote(a) for a in keep))
+PY
+)
+fi
+
+if [[ ${status} -eq 0 ]]; then
+  echo "Static analysis clean."
+else
+  echo "Static analysis found problems (exit ${status})." >&2
+fi
+exit "${status}"

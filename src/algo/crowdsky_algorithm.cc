@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <string>
 
 namespace crowdsky {
 namespace internal {
@@ -120,6 +122,27 @@ int64_t SeedKnownCrowdValues(const Dataset& dataset,
   return seeded;
 }
 
+void AuditFinalState(const Dataset& dataset,
+                     const DominanceStructure& structure,
+                     const CrowdKnowledge& knowledge,
+                     const CrowdSession& session,
+                     const CompletionState& completion,
+                     const AlgoResult& result, audit::AuditReport* report) {
+  const audit::InvariantAuditor auditor;
+  for (int attr = 0; attr < knowledge.num_attrs(); ++attr) {
+    auditor.AuditPreferenceGraph(knowledge.graph(attr),
+                                 "crowd attr " + std::to_string(attr),
+                                 report);
+  }
+  auditor.AuditSession(session, report);
+  auditor.AuditCostModel(AmtCostModel{}, session.questions_per_round(),
+                         report);
+  auditor.AuditDominanceStructure(structure,
+                                  PreferenceMatrix::FromKnown(dataset),
+                                  report);
+  auditor.AuditResult(result, session, dataset.size(), completion, report);
+}
+
 void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
                int64_t free_lookups, AlgoResult* result) {
   result->questions =
@@ -142,10 +165,14 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
                            options.contradiction_policy);
   CompletionState completion(n);
   AlgoResult result;
+  audit::AuditReport audit_report;
+  std::optional<audit::CompletionMonitor> monitor;
+  if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/false);
+  if (monitor) monitor->Observe(completion, &audit_report);
 
   int64_t free_lookups = 0;
 
@@ -157,6 +184,7 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
       result.skyline.push_back(t);
     }
   }
+  if (monitor) monitor->Observe(completion, &audit_report);
 
   // Evaluate remaining tuples in ascending |DS(t)| order (line 7).
   for (const int t : structure.evaluation_order()) {
@@ -174,10 +202,17 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
     } else {
       completion.MarkNonSkyline(t);
     }
+    if (monitor) monitor->Observe(completion, &audit_report);
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, &result);
+  if (options.audit) {
+    internal::AuditFinalState(dataset, structure, knowledge, *session,
+                              completion, result, &audit_report);
+    CROWDSKY_CHECK_MSG(audit_report.ok(),
+                       audit_report.ToString().c_str());
+  }
   return result;
 }
 

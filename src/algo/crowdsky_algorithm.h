@@ -6,6 +6,7 @@
 #include "algo/crowd_knowledge.h"
 #include "algo/evaluator.h"
 #include "algo/run_result.h"
+#include "audit/invariant_auditor.h"
 #include "crowd/session.h"
 #include "data/dataset.h"
 #include "skyline/dominance_structure.h"
@@ -39,6 +40,18 @@ void ResolveKnownTies(const Dataset& dataset, CrowdKnowledge* knowledge,
 /// Fills the result's aggregate counters from the session and knowledge.
 void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
                int64_t free_lookups, AlgoResult* result);
+
+/// The end-of-run half of CrowdSkyOptions::audit, shared by the Serial,
+/// ParallelDSet and ParallelSL drivers: appends to `report` the audits of
+/// every per-attribute preference graph, the session accounting, the AMT
+/// cost formula, the dominance structure against brute-force dominance,
+/// and the result/completion consistency.
+void AuditFinalState(const Dataset& dataset,
+                     const DominanceStructure& structure,
+                     const CrowdKnowledge& knowledge,
+                     const CrowdSession& session,
+                     const CompletionState& completion,
+                     const AlgoResult& result, audit::AuditReport* report);
 
 /// Seeds the preference tree with the relations derivable from crowd
 /// values the machine already knows (options.known_crowd_values), so only

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "algo/crowdsky_algorithm.h"
 #include "algo/evaluator.h"
@@ -64,16 +65,21 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
                            options.contradiction_policy);
   CompletionState completion(n);
   AlgoResult result;
+  audit::AuditReport audit_report;
+  std::optional<audit::CompletionMonitor> monitor;
+  if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/true);
+  if (monitor) monitor->Observe(completion, &audit_report);
   for (const int t : structure.known_skyline()) {
     if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
       completion.MarkSkyline(t);
       result.skyline.push_back(t);
     }
   }
+  if (monitor) monitor->Observe(completion, &audit_report);
 
   // Partition by |DS(t)| (evaluation_order is already sorted by it), then
   // greedily split each partition into sub-batches with pairwise-disjoint
@@ -134,11 +140,17 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
       free_lookups += RunBatchLockstep(batch, structure, &knowledge, session,
                                        &completion, options, &result.skyline,
                                        &result.incomplete_tuples);
+      if (monitor) monitor->Observe(completion, &audit_report);
     }
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, &result);
+  if (options.audit) {
+    internal::AuditFinalState(dataset, structure, knowledge, *session,
+                              completion, result, &audit_report);
+    CROWDSKY_CHECK_MSG(audit_report.ok(), audit_report.ToString().c_str());
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "algo/crowdsky_algorithm.h"
 #include "algo/evaluator.h"
@@ -17,10 +18,14 @@ AlgoResult RunParallelSL(const Dataset& dataset,
                            options.contradiction_policy);
   CompletionState completion(n);
   AlgoResult result;
+  audit::AuditReport audit_report;
+  std::optional<audit::CompletionMonitor> monitor;
+  if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/true);
+  if (monitor) monitor->Observe(completion, &audit_report);
   // C is initialized with SL1 = SKY_AK(R) (line 4).
   for (const int t : structure.known_skyline()) {
     if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
@@ -28,6 +33,7 @@ AlgoResult RunParallelSL(const Dataset& dataset,
       result.skyline.push_back(t);
     }
   }
+  if (monitor) monitor->Observe(completion, &audit_report);
 
   // Count how many direct dominators of each tuple are still incomplete;
   // a tuple becomes ready when the count reaches zero.
@@ -89,6 +95,7 @@ AlgoResult RunParallelSL(const Dataset& dataset,
     }
     active.resize(keep);
     if (any_paid) session->EndRound();
+    if (monitor) monitor->Observe(completion, &audit_report);
     // Tuples whose last direct dominator completed this round join the
     // next round.
     if (!ready.empty()) {
@@ -101,6 +108,11 @@ AlgoResult RunParallelSL(const Dataset& dataset,
 
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, &result);
+  if (options.audit) {
+    internal::AuditFinalState(dataset, structure, knowledge, *session,
+                              completion, result, &audit_report);
+    CROWDSKY_CHECK_MSG(audit_report.ok(), audit_report.ToString().c_str());
+  }
   return result;
 }
 

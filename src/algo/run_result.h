@@ -69,6 +69,14 @@ struct CrowdSkyOptions {
   /// the crowd. Null (default) means every crowd value is missing —
   /// the paper's hands-off setting. Not owned; must outlive the run.
   const std::vector<DynamicBitset>* known_crowd_values = nullptr;
+  /// Runs the invariant auditor (src/audit) alongside the algorithm:
+  /// completion-state monotonicity is watched throughout, and at the end
+  /// the preference graphs, session accounting, AMT cost formula,
+  /// dominance structure (vs. brute force) and result consistency are
+  /// validated. Any violation aborts via CROWDSKY_CHECK with the full
+  /// report. Costs roughly O(n^2) extra work — meant for tests and
+  /// debugging, not production serving.
+  bool audit = false;
 };
 
 /// Outcome of one crowd-enabled skyline execution.

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 // Disallow copy construction/assignment for a class.
 #define CROWDSKY_DISALLOW_COPY(TypeName)     \
@@ -33,6 +35,53 @@
       ::std::abort();                                                      \
     }                                                                      \
   } while (false)
+
+namespace crowdsky::internal {
+
+// Streams both operands of a failed CROWDSKY_CHECK_xx so the abort message
+// shows the values, not just the expression text.
+template <typename A, typename B>
+std::string FormatCheckOperands(const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << a << " vs. " << b;
+  return oss.str();
+}
+
+}  // namespace crowdsky::internal
+
+// Binary invariant checks with value printing, e.g.
+//   CROWDSKY_CHECK_EQ(rounds, per_round.size());
+// aborts with "... CROWDSKY_CHECK_EQ failed at f.cc:12: rounds ==
+// per_round.size() (3 vs. 4)". Operands must be streamable and comparable
+// without implicit-conversion warnings (cast explicitly as elsewhere in
+// the codebase).
+#define CROWDSKY_CHECK_OP_IMPL(name, op, a, b)                              \
+  do {                                                                      \
+    const auto& crowdsky_check_lhs = (a);                                   \
+    const auto& crowdsky_check_rhs = (b);                                   \
+    if (CROWDSKY_PREDICT_FALSE(                                             \
+            !(crowdsky_check_lhs op crowdsky_check_rhs))) {                 \
+      ::std::fprintf(stderr, "%s failed at %s:%d: %s %s %s (%s)\n", name,   \
+                     __FILE__, __LINE__, #a, #op, #b,                       \
+                     ::crowdsky::internal::FormatCheckOperands(             \
+                         crowdsky_check_lhs, crowdsky_check_rhs)            \
+                         .c_str());                                         \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (false)
+
+#define CROWDSKY_CHECK_EQ(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_EQ", ==, a, b)
+#define CROWDSKY_CHECK_NE(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_NE", !=, a, b)
+#define CROWDSKY_CHECK_LT(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_LT", <, a, b)
+#define CROWDSKY_CHECK_LE(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_LE", <=, a, b)
+#define CROWDSKY_CHECK_GT(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_GT", >, a, b)
+#define CROWDSKY_CHECK_GE(a, b) \
+  CROWDSKY_CHECK_OP_IMPL("CROWDSKY_CHECK_GE", >=, a, b)
 
 // Debug-only check, compiled out in release builds.
 #ifdef NDEBUG

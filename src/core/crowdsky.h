@@ -7,6 +7,7 @@
 #include "algo/parallel_dset.h"        // IWYU pragma: export
 #include "algo/parallel_sl.h"          // IWYU pragma: export
 #include "algo/unary.h"                // IWYU pragma: export
+#include "audit/invariant_auditor.h"   // IWYU pragma: export
 #include "common/result.h"             // IWYU pragma: export
 #include "common/status.h"             // IWYU pragma: export
 #include "core/engine.h"               // IWYU pragma: export

@@ -14,6 +14,7 @@ Answer CrowdSession::Ask(int attr, int u, int v, const AskContext& ctx) {
   CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
   const Answer canonical_answer = oracle_->AnswerPair(canonical, ctx);
   cache_.emplace(canonical, canonical_answer);
+  paid_questions_.push_back(canonical);
   ++stats_.questions;
   ++open_round_questions_;
   return flipped ? FlipAnswer(canonical_answer) : canonical_answer;

@@ -74,11 +74,21 @@ class CrowdSession {
   /// Questions asked in the currently open round.
   int64_t open_round_questions() const { return open_round_questions_; }
 
+  /// Every *paid* pair question in ask order, canonical orientation.
+  /// Consumed by the invariant auditor ("no pair is ever paid for twice");
+  /// cache hits and unary questions are not recorded here.
+  const std::vector<PairQuestion>& paid_questions() const {
+    return paid_questions_;
+  }
+  /// The configured question budget (negative = unlimited).
+  int64_t question_budget() const { return budget_; }
+
  private:
   CrowdOracle* oracle_;
   std::unordered_map<PairQuestion, Answer, PairQuestionHash> cache_;
   SessionStats stats_;
   std::vector<int64_t> questions_per_round_;
+  std::vector<PairQuestion> paid_questions_;
   int64_t open_round_questions_ = 0;
   int64_t budget_ = -1;
 };

@@ -1,0 +1,96 @@
+// Death tests for the CROWDSKY_CHECK family: the invariant machinery the
+// auditor escalates through must itself abort with a useful message.
+#include "common/macros.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+TEST(CheckTest, PassingConditionIsSilent) {
+  CROWDSKY_CHECK(1 + 1 == 2);
+  CROWDSKY_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(CROWDSKY_CHECK(2 < 1),
+               "CROWDSKY_CHECK failed at .*macros_test.cc:[0-9]+: 2 < 1");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgIncludesMessage) {
+  EXPECT_DEATH(CROWDSKY_CHECK_MSG(false, "round accounting corrupt"),
+               "round accounting corrupt");
+}
+
+TEST(CheckDeathTest, MessageMayBeRuntimeString) {
+  const std::string detail = "violation #42";
+  EXPECT_DEATH(CROWDSKY_CHECK_MSG(false, detail.c_str()), "violation #42");
+}
+
+TEST(CheckOpTest, PassingComparisonsAreSilent) {
+  CROWDSKY_CHECK_EQ(3, 3);
+  CROWDSKY_CHECK_NE(3, 4);
+  CROWDSKY_CHECK_LT(3, 4);
+  CROWDSKY_CHECK_LE(3, 3);
+  CROWDSKY_CHECK_GT(4, 3);
+  CROWDSKY_CHECK_GE(4, 4);
+}
+
+TEST(CheckOpTest, OperandsAreEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  CROWDSKY_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckOpDeathTest, EqPrintsBothValues) {
+  const int64_t rounds = 3;
+  const int64_t recorded = 4;
+  EXPECT_DEATH(
+      CROWDSKY_CHECK_EQ(rounds, recorded),
+      "CROWDSKY_CHECK_EQ failed at .*: rounds == recorded \\(3 vs. 4\\)");
+}
+
+TEST(CheckOpDeathTest, NePrintsBothValues) {
+  EXPECT_DEATH(CROWDSKY_CHECK_NE(7, 7), "7 != 7 \\(7 vs. 7\\)");
+}
+
+TEST(CheckOpDeathTest, LtPrintsBothValues) {
+  EXPECT_DEATH(CROWDSKY_CHECK_LT(5, 5),
+               "CROWDSKY_CHECK_LT failed.*\\(5 vs. 5\\)");
+}
+
+TEST(CheckOpDeathTest, LePrintsBothValues) {
+  EXPECT_DEATH(CROWDSKY_CHECK_LE(6, 5),
+               "CROWDSKY_CHECK_LE failed.*\\(6 vs. 5\\)");
+}
+
+TEST(CheckOpDeathTest, GtPrintsBothValues) {
+  EXPECT_DEATH(CROWDSKY_CHECK_GT(5, 5),
+               "CROWDSKY_CHECK_GT failed.*\\(5 vs. 5\\)");
+}
+
+TEST(CheckOpDeathTest, GePrintsBothValues) {
+  EXPECT_DEATH(CROWDSKY_CHECK_GE(4, 5),
+               "CROWDSKY_CHECK_GE failed.*\\(4 vs. 5\\)");
+}
+
+TEST(CheckOpDeathTest, StreamableOperandsArePrinted) {
+  const std::string got = "abc";
+  const std::string want = "abd";
+  EXPECT_DEATH(CROWDSKY_CHECK_EQ(got, want), "\\(abc vs. abd\\)");
+}
+
+TEST(DcheckTest, MatchesBuildType) {
+#ifdef NDEBUG
+  CROWDSKY_DCHECK(false);  // compiled out in release builds
+#else
+  EXPECT_DEATH(CROWDSKY_DCHECK(false), "CROWDSKY_CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace crowdsky

@@ -56,6 +56,9 @@ TEST_P(OptionMatrixTest, AlwaysMatchesGroundTruth) {
   options.pruning = kLevels[level];
   options.multi_attr = strategy;
   if (partial) options.known_crowd_values = &masks;
+  // Every option combination must also survive the invariant auditor
+  // (violations abort the run).
+  options.audit = true;
 
   PerfectOracle oracle(ds);
   CrowdSession session(&oracle);

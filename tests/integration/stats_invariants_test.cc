@@ -33,6 +33,9 @@ TEST_P(StatsInvariantsTest, BookkeepingConsistency) {
       options.algorithm = algo;
       options.worker.p_correct = 0.85;
       options.seed = 17;
+      // The CrowdSky-family drivers double-check their own bookkeeping
+      // with the invariant auditor (ignored by the sort/unary baselines).
+      options.crowdsky.audit = true;
       const auto r = RunSkylineQuery(ds, options);
       ASSERT_TRUE(r.ok());
       const AlgoResult& a = r->algo;
