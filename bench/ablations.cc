@@ -67,6 +67,11 @@ void PruningUnderNoise() {
     table.PrintCell(r / runs);
     table.PrintCell(f / runs);
     table.EndRow();
+    BenchReport::Get().AddCell("pruning under noise", "n=400", level.name, 0,
+                               {{"questions", q / runs},
+                                {"precision", p / runs},
+                                {"recall", r / runs},
+                                {"f1", f / runs}});
   }
   std::printf(
       "  (More pruning = fewer questions but fewer redundant checks; one\n"
@@ -106,6 +111,13 @@ void RoundRobinSweep() {
     table.PrintCell(static_cast<int64_t>(ra / runs + 0.5));
     table.PrintCell(static_cast<int64_t>(rr_rounds / runs + 0.5));
     table.EndRow();
+    const std::string label = "|AC|=" + std::to_string(mc);
+    BenchReport::Get().AddCell("multi-attribute strategy", label,
+                               "all-at-once", 0,
+                               {{"questions", qa / runs}, {"rounds", ra / runs}});
+    BenchReport::Get().AddCell(
+        "multi-attribute strategy", label, "round-robin", 0,
+        {{"questions", qr / runs}, {"rounds", rr_rounds / runs}});
   }
 }
 
@@ -126,6 +138,15 @@ void SortBaselines() {
     table.PrintCell(bitonic.questions);
     table.PrintCell(bitonic.rounds);
     table.EndRow();
+    const std::string label = "n=" + std::to_string(ds.size());
+    BenchReport::Get().AddCell(
+        "sort baselines", label, "tournament", 0,
+        {{"questions", static_cast<double>(tournament.questions)},
+         {"rounds", static_cast<double>(tournament.rounds)}});
+    BenchReport::Get().AddCell(
+        "sort baselines", label, "bitonic", 0,
+        {{"questions", static_cast<double>(bitonic.questions)},
+         {"rounds", static_cast<double>(bitonic.rounds)}});
   }
 }
 
@@ -155,6 +176,14 @@ void BudgetSweep() {
     table.PrintCell(p / runs);
     table.PrintCell(r / runs);
     table.EndRow();
+    BenchReport::Get().AddCell(
+        "question budgets",
+        budget == 0 ? std::string("unlimited") : std::to_string(budget),
+        "CrowdSky", 0,
+        {{"questions", q / runs},
+         {"incomplete", inc / runs},
+         {"precision", p / runs},
+         {"recall", r / runs}});
   }
   std::printf(
       "  (Recall stays 1.0 under correct answers — budgets only leave\n"
@@ -164,6 +193,7 @@ void BudgetSweep() {
 }  // namespace
 
 int main() {
+  crowdsky::bench::JsonReportScope report("ablations");
   std::printf("CrowdSky ablations (beyond the paper's figures)\n");
   PruningUnderNoise();
   RoundRobinSweep();

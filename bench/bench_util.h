@@ -1,18 +1,33 @@
 // Shared helpers for the experiment harnesses in bench/: paper-style table
-// printing and environment-driven scaling so the full suite stays fast on
-// small machines.
+// printing, environment-driven scaling, and the machine-readable benchmark
+// regression harness (every bench binary emits a BENCH_<name>.json with
+// its wall time, thread count, and per-cell metrics — see
+// scripts/run_benchmarks.sh, which collects the files into the repo-level
+// perf trajectory).
 //
 // Environment variables:
-//   CROWDSKY_BENCH_RUNS   number of repetitions averaged per cell
-//                         (default 3; the paper uses 10)
-//   CROWDSKY_BENCH_SCALE  multiplier applied to cardinalities (default 1.0;
-//                         use 1.0 to reproduce the paper's 2K-10K sweep)
+//   CROWDSKY_BENCH_RUNS     number of repetitions averaged per cell
+//                           (default 3; the paper uses 10)
+//   CROWDSKY_BENCH_SCALE    multiplier applied to cardinalities (default
+//                           1.0; use 1.0 to reproduce the paper's 2K-10K
+//                           sweep)
+//   CROWDSKY_THREADS        thread count of the shared pool (see
+//                           common/thread_pool.h); sweep cells and the
+//                           machine-side substrates parallelize over it
+//   CROWDSKY_BENCH_OUT_DIR  directory for BENCH_<name>.json (default ".")
+//   CROWDSKY_GIT_REV        git revision recorded in the JSON (set by
+//                           scripts/run_benchmarks.sh; "unknown" if unset)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace crowdsky::bench {
 
@@ -37,6 +52,9 @@ inline int Scaled(int cardinality) {
   const int v = static_cast<int>(cardinality * s);
   return v < 2 ? 2 : v;
 }
+
+/// Thread count of the shared pool (CROWDSKY_THREADS override included).
+inline int Threads() { return ThreadPool::Global().num_threads(); }
 
 /// Fixed-width table printer for paper-style outputs.
 class Table {
@@ -74,5 +92,163 @@ class Table {
 inline void Section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable regression report (BENCH_<name>.json, schema_version 1):
+//
+//   {
+//     "bench": "fig6_questions_ind", "schema_version": 1,
+//     "git_rev": "...", "threads": 8, "runs": 3, "scale": 1.0,
+//     "wall_seconds": 12.345,
+//     "cells": [
+//       {"section": "...", "setting": "n=2000", "method": "DSet",
+//        "run": 0, "metrics": {"questions": 123, "rounds": 4,
+//                              "cost": 1.9}},
+//       ...
+//     ]
+//   }
+//
+// One cell per (section x setting x method x run); aggregation across runs
+// is left to the consumer so regressions in variance are visible too.
+// ---------------------------------------------------------------------------
+
+/// Collects cells for the current bench binary and writes the JSON file.
+class BenchReport {
+ public:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  static BenchReport& Get() {
+    static BenchReport report;
+    return report;
+  }
+
+  /// Names the report and starts the wall clock. Called once by
+  /// JsonReportScope at the top of main().
+  void Begin(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    name_ = name;
+    cells_.clear();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Records one cell. Thread-safe, but for a deterministic file prefer
+  /// calling from the serial print loop in the original cell order.
+  void AddCell(const std::string& section, const std::string& setting,
+               const std::string& method, int run, const Metrics& metrics) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (name_.empty()) return;  // bench did not opt into reporting
+    cells_.push_back({section, setting, method, run, metrics});
+  }
+
+  /// Writes BENCH_<name>.json into CROWDSKY_BENCH_OUT_DIR (default ".").
+  /// No-op when Begin() was never called.
+  void Write() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (name_.empty()) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::string dir = ".";
+    if (const char* env = std::getenv("CROWDSKY_BENCH_OUT_DIR")) dir = env;
+    const char* rev = std::getenv("CROWDSKY_GIT_REV");
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": %s,\n", Quoted(name_).c_str());
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"git_rev\": %s,\n",
+                 Quoted(rev != nullptr ? rev : "unknown").c_str());
+    std::fprintf(f, "  \"threads\": %d,\n", Threads());
+    std::fprintf(f, "  \"runs\": %d,\n", Runs());
+    std::fprintf(f, "  \"scale\": %s,\n", Number(Scale()).c_str());
+    std::fprintf(f, "  \"wall_seconds\": %s,\n", Number(wall).c_str());
+    std::fprintf(f, "  \"cells\": [");
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      const Cell& c = cells_[i];
+      std::fprintf(f, "%s\n    {\"section\": %s, \"setting\": %s, "
+                      "\"method\": %s, \"run\": %d, \"metrics\": {",
+                   i == 0 ? "" : ",", Quoted(c.section).c_str(),
+                   Quoted(c.setting).c_str(), Quoted(c.method).c_str(),
+                   c.run);
+      for (size_t m = 0; m < c.metrics.size(); ++m) {
+        std::fprintf(f, "%s%s: %s", m == 0 ? "" : ", ",
+                     Quoted(c.metrics[m].first).c_str(),
+                     Number(c.metrics[m].second).c_str());
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "%s],\n", cells_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"num_cells\": %zu\n", cells_.size());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\n[bench] wrote %s (%zu cells, %.2fs wall, %d threads)\n",
+                path.c_str(), cells_.size(), wall, Threads());
+    name_.clear();
+  }
+
+ private:
+  struct Cell {
+    std::string section, setting, method;
+    int run;
+    Metrics metrics;
+  };
+
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(ch));
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  // JSON number: plain integers stay integral, everything else keeps
+  // enough digits to round-trip a double.
+  static std::string Number(double v) {
+    const auto as_int = static_cast<long long>(v);
+    char buf[40];
+    if (static_cast<double>(as_int) == v && v > -1e15 && v < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", as_int);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+  }
+
+  std::mutex mutex_;
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII wrapper used by every bench main(): names the report on entry and
+/// writes BENCH_<name>.json on scope exit.
+class JsonReportScope {
+ public:
+  explicit JsonReportScope(const std::string& name) {
+    BenchReport::Get().Begin(name);
+  }
+  ~JsonReportScope() { BenchReport::Get().Write(); }
+  CROWDSKY_DISALLOW_COPY(JsonReportScope);
+};
 
 }  // namespace crowdsky::bench

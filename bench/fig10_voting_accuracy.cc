@@ -10,6 +10,7 @@
 int main() {
   using namespace crowdsky;        // NOLINT
   using namespace crowdsky::bench; // NOLINT
+  JsonReportScope report("fig10_voting_accuracy");
   const int runs = Runs() * 2;  // accuracy needs more averaging
   std::printf(
       "Figure 10: accuracy of static vs dynamic voting (IND, omega=5, "
@@ -72,6 +73,15 @@ int main() {
     table.PrintCell(static_cast<int64_t>(sw / runs + 0.5));
     table.PrintCell(static_cast<int64_t>(dw / runs + 0.5));
     table.EndRow();
+    const std::string label = "n=" + std::to_string(card);
+    BenchReport::Get().AddCell("voting accuracy", label, "static", 0,
+                               {{"precision", sp / runs},
+                                {"recall", sr / runs},
+                                {"worker_answers", sw / runs}});
+    BenchReport::Get().AddCell("voting accuracy", label, "dynamic", 0,
+                               {{"precision", dp / runs},
+                                {"recall", dr / runs},
+                                {"worker_answers", dw / runs}});
   }
   std::printf(
       "\n(The W columns report total worker assignments: the dynamic policy "

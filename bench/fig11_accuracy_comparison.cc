@@ -10,6 +10,7 @@
 int main() {
   using namespace crowdsky;        // NOLINT
   using namespace crowdsky::bench; // NOLINT
+  JsonReportScope report("fig11_accuracy_comparison");
   const int runs = Runs() * 2;
   std::printf(
       "Figure 11: accuracy of Baseline vs Unary [12] vs CrowdSky (IND, "
@@ -72,6 +73,16 @@ int main() {
     table.PrintCell(cp / runs);
     table.PrintCell(cr / runs);
     table.EndRow();
+    const std::string label = "n=" + std::to_string(card);
+    BenchReport::Get().AddCell(
+        "accuracy comparison", label, "Baseline", 0,
+        {{"precision", bp / runs}, {"recall", br / runs}});
+    BenchReport::Get().AddCell(
+        "accuracy comparison", label, "Unary", 0,
+        {{"precision", up / runs}, {"recall", ur / runs}});
+    BenchReport::Get().AddCell(
+        "accuracy comparison", label, "CrowdSky", 0,
+        {{"precision", cp / runs}, {"recall", cr / runs}});
   }
 
   // Sensitivity of the Unary baseline to the absolute-rating noise sigma
@@ -107,6 +118,10 @@ int main() {
     stable.PrintCell(r / runs);
     stable.PrintCell(f / runs);
     stable.EndRow();
+    BenchReport::Get().AddCell(
+        "unary sigma sensitivity", "sigma=" + std::to_string(sigma), "Unary",
+        0,
+        {{"precision", p / runs}, {"recall", r / runs}, {"f1", f / runs}});
   }
   return 0;
 }

@@ -56,6 +56,14 @@ void RunQuery(const char* name, const Dataset& ds) {
     table.PrintCell(precision / runs);
     table.PrintCell(recall / runs);
     table.EndRow();
+    BenchReport::Get().AddCell("real queries", name,
+                               std::string(AlgorithmName(algo)), 0,
+                               {{"questions", questions / runs},
+                                {"rounds", rounds / runs},
+                                {"hits", hits / runs},
+                                {"cost_usd", cost / runs},
+                                {"precision", precision / runs},
+                                {"recall", recall / runs}});
   }
 }
 
@@ -71,6 +79,7 @@ void PrintSkyline(const char* title, const Dataset& ds) {
 }  // namespace
 
 int main() {
+  crowdsky::bench::JsonReportScope report("fig12_real_datasets");
   std::printf(
       "Figure 12: real-life queries with a simulated AMT crowd "
       "(omega=5, $0.02/question, 5 questions per HIT; %d runs)\n",

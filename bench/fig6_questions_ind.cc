@@ -2,6 +2,7 @@
 #include "questions_sweep.h"
 
 int main() {
+  crowdsky::bench::JsonReportScope report("fig6_questions_ind");
   crowdsky::bench::QuestionsFigure("Figure 6",
                                    crowdsky::DataDistribution::kIndependent);
   return 0;

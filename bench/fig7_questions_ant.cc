@@ -2,6 +2,7 @@
 #include "questions_sweep.h"
 
 int main() {
+  crowdsky::bench::JsonReportScope report("fig7_questions_ant");
   crowdsky::bench::QuestionsFigure(
       "Figure 7", crowdsky::DataDistribution::kAntiCorrelated);
   return 0;

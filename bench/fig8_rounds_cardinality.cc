@@ -4,6 +4,7 @@
 int main() {
   using namespace crowdsky;        // NOLINT
   using namespace crowdsky::bench; // NOLINT
+  JsonReportScope report("fig8_rounds_cardinality");
   std::printf("Figure 8: number of rounds over varying cardinality\n");
   std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n", Runs(),
               Scale());

@@ -4,6 +4,7 @@
 int main() {
   using namespace crowdsky;        // NOLINT
   using namespace crowdsky::bench; // NOLINT
+  JsonReportScope report("fig9_rounds_dimensionality");
   std::printf("Figure 9: number of rounds over varying |AK|\n");
   std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n", Runs(),
               Scale());

@@ -3,10 +3,18 @@
 // closure maintenance, and full algorithm runs at a fixed size.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/crowdsky.h"
 
 namespace crowdsky {
 namespace {
+
+// state.range holding a thread count: 0 means "use DefaultThreads()" (i.e.
+// CROWDSKY_THREADS or hardware_concurrency), any other value is literal.
+int ResolveThreads(int64_t range) {
+  return range == 0 ? ThreadPool::DefaultThreads()
+                    : static_cast<int>(range);
+}
 
 Dataset MakeData(int n, DataDistribution dist, int dk = 4, int mc = 1) {
   GeneratorOptions opt;
@@ -52,16 +60,78 @@ void BM_SkylineSFS(benchmark::State& state) {
 }
 BENCHMARK(BM_SkylineSFS)->Arg(1000)->Arg(4000);
 
+// Args: {cardinality, threads} — threads=0 means DefaultThreads(). The
+// 1-thread rows are the serial baseline for the regression harness; the
+// 0 rows show the parallel build at whatever the machine offers.
 void BM_DominanceStructureBuild(benchmark::State& state) {
   const Dataset ds = MakeData(static_cast<int>(state.range(0)),
                               DataDistribution::kIndependent);
   const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  const ScopedThreads threads(ResolveThreads(state.range(1)));
   for (auto _ : state) {
     DominanceStructure s(m);
     benchmark::DoNotOptimize(s.size());
   }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::Global().num_threads());
 }
-BENCHMARK(BM_DominanceStructureBuild)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_DominanceStructureBuild)
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({4000, 1})
+    ->Args({4000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0});
+
+void BM_ParallelSkylineBNL(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<int>(state.range(0)),
+                              DataDistribution::kAntiCorrelated, 4, 0);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  const ScopedThreads threads(ResolveThreads(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkylineBNL(m));
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::Global().num_threads());
+}
+BENCHMARK(BM_ParallelSkylineBNL)->Args({4000, 1})->Args({4000, 0});
+
+void BM_BitsetOrWithCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DynamicBitset a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    DynamicBitset acc = a;
+    benchmark::DoNotOptimize(acc.OrWithCount(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetOrWithCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitsetAndNotCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DynamicBitset a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndNotCount(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetAndNotCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitsetIntersectionCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DynamicBitset a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionCount(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetIntersectionCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_PreferenceGraphChainInsert(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

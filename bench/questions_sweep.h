@@ -1,8 +1,16 @@
 // Shared harness for Figures 6 and 7: number of questions for Baseline,
 // DSet, P1, P1+P2, P1+P2+P3 over (a) cardinality, (b) |AK|, (c) |AC|.
+//
+// Cells are independent (every run re-generates its dataset from its own
+// seed and PerfectOracle is deterministic), so the harness runs the
+// (run x method) grid of each setting concurrently on the shared thread
+// pool and then accumulates/prints in the historical serial order — the
+// printed tables and the emitted JSON cells are identical for every
+// CROWDSKY_THREADS value.
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,20 +35,37 @@ inline std::vector<MethodSpec> QuestionMethods() {
   };
 }
 
+/// Per-cell record for the JSON regression report.
+struct CellMetrics {
+  int64_t questions = 0;
+  int64_t rounds = 0;
+  double cost = 0.0;
+};
+
+inline CellMetrics MeasureQuestionCell(const Dataset& ds,
+                                       const DominanceStructure& structure,
+                                       const MethodSpec& method) {
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  AlgoResult r;
+  if (method.baseline) {
+    r = RunBaselineSort(ds, &session);
+  } else {
+    CrowdSkyOptions options;
+    options.pruning = method.pruning;
+    r = RunCrowdSky(ds, structure, &session, options);
+  }
+  return {r.questions, r.rounds, AmtCostModel{}.Cost(r.questions_per_round)};
+}
+
 inline int64_t MeasureQuestions(const Dataset& ds,
                                 const DominanceStructure& structure,
                                 const MethodSpec& method) {
-  PerfectOracle oracle(ds);
-  CrowdSession session(&oracle);
-  if (method.baseline) {
-    return RunBaselineSort(ds, &session).questions;
-  }
-  CrowdSkyOptions options;
-  options.pruning = method.pruning;
-  return RunCrowdSky(ds, structure, &session, options).questions;
+  return MeasureQuestionCell(ds, structure, method).questions;
 }
 
-/// Runs one sweep dimension and prints a paper-style series table.
+/// Runs one sweep dimension: all (run x method) cells of each setting in
+/// parallel, then a paper-style series table plus JSON cells.
 inline void QuestionsSweep(const std::string& title, DataDistribution dist,
                            const std::vector<GeneratorOptions>& settings,
                            const std::vector<std::string>& labels) {
@@ -50,25 +75,58 @@ inline void QuestionsSweep(const std::string& title, DataDistribution dist,
   for (const MethodSpec& m : methods) headers.push_back(m.name);
   Table table(headers);
   table.PrintHeader();
-  const int runs = Runs();
+  const auto runs = static_cast<size_t>(Runs());
+  const size_t num_methods = methods.size();
   for (size_t i = 0; i < settings.size(); ++i) {
-    std::vector<double> sums(methods.size(), 0.0);
-    for (int run = 0; run < runs; ++run) {
-      GeneratorOptions opt = settings[i];
-      opt.distribution = dist;
-      opt.seed = 1000 + static_cast<uint64_t>(run) * 37;
-      const Dataset ds = GenerateDataset(opt).ValueOrDie();
-      const DominanceStructure structure(PreferenceMatrix::FromKnown(ds));
-      for (size_t m = 0; m < methods.size(); ++m) {
-        sums[m] += static_cast<double>(
-            MeasureQuestions(ds, structure, methods[m]));
+    // Phase A: one dataset + dominance structure per run, in parallel.
+    std::vector<std::unique_ptr<Dataset>> datasets(runs);
+    std::vector<std::unique_ptr<DominanceStructure>> structures(runs);
+    ParallelFor(0, runs, 1, [&](size_t lo, size_t hi) {
+      for (size_t run = lo; run < hi; ++run) {
+        GeneratorOptions opt = settings[i];
+        opt.distribution = dist;
+        opt.seed = 1000 + static_cast<uint64_t>(run) * 37;
+        datasets[run] =
+            std::make_unique<Dataset>(GenerateDataset(opt).ValueOrDie());
+        structures[run] = std::make_unique<DominanceStructure>(
+            PreferenceMatrix::FromKnown(*datasets[run]));
+      }
+    });
+    // Phase B: every (run x method) cell concurrently; each cell owns its
+    // oracle/session and only reads the shared immutable structures.
+    std::vector<CellMetrics> cells(runs * num_methods);
+    ParallelFor(0, cells.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t idx = lo; idx < hi; ++idx) {
+        const size_t run = idx / num_methods;
+        const size_t m = idx % num_methods;
+        cells[idx] =
+            MeasureQuestionCell(*datasets[run], *structures[run], methods[m]);
+      }
+    });
+    // Serial accumulation in the historical run-major order keeps the
+    // floating-point sums (and thus the printed table) bit-identical.
+    std::vector<double> sums(num_methods, 0.0);
+    for (size_t run = 0; run < runs; ++run) {
+      for (size_t m = 0; m < num_methods; ++m) {
+        sums[m] += static_cast<double>(cells[run * num_methods + m].questions);
       }
     }
     table.PrintCell(labels[i]);
     for (const double sum : sums) {
-      table.PrintCell(static_cast<int64_t>(sum / runs + 0.5));
+      table.PrintCell(
+          static_cast<int64_t>(sum / static_cast<double>(runs) + 0.5));
     }
     table.EndRow();
+    for (size_t run = 0; run < runs; ++run) {
+      for (size_t m = 0; m < num_methods; ++m) {
+        const CellMetrics& c = cells[run * num_methods + m];
+        BenchReport::Get().AddCell(
+            title, labels[i], methods[m].name, static_cast<int>(run),
+            {{"questions", static_cast<double>(c.questions)},
+             {"rounds", static_cast<double>(c.rounds)},
+             {"cost", c.cost}});
+      }
+    }
   }
 }
 
@@ -76,8 +134,9 @@ inline void QuestionsSweep(const std::string& title, DataDistribution dist,
 inline void QuestionsFigure(const char* figure, DataDistribution dist) {
   std::printf("%s: number of questions over %s distribution\n", figure,
               DataDistributionName(dist));
-  std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n",
-              Runs(), Scale());
+  std::printf(
+      "(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f, %d threads)\n",
+      Runs(), Scale(), Threads());
 
   {
     std::vector<GeneratorOptions> settings;

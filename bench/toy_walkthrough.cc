@@ -72,6 +72,10 @@ void RunAlgorithms(const Dataset& toy) {
     table.PrintCell(r.rounds);
     table.PrintCell(LabelSet(toy, r.skyline));
     table.EndRow();
+    bench::BenchReport::Get().AddCell(
+        "serial pruning levels", "toy", row.name, 0,
+        {{"questions", static_cast<double>(r.questions)},
+         {"rounds", static_cast<double>(r.rounds)}});
   }
 
   bench::Section("Parallelization (Examples 7-8 / Table 3)");
@@ -85,6 +89,10 @@ void RunAlgorithms(const Dataset& toy) {
     ptable.PrintCell(r.questions);
     ptable.PrintCell(r.rounds);
     ptable.EndRow();
+    bench::BenchReport::Get().AddCell(
+        "parallelization", "toy", "ParallelDSet", 0,
+        {{"questions", static_cast<double>(r.questions)},
+         {"rounds", static_cast<double>(r.rounds)}});
   }
   {
     PerfectOracle oracle(toy);
@@ -94,6 +102,10 @@ void RunAlgorithms(const Dataset& toy) {
     ptable.PrintCell(r.questions);
     ptable.PrintCell(r.rounds);
     ptable.EndRow();
+    bench::BenchReport::Get().AddCell(
+        "parallelization", "toy", "ParallelSL", 0,
+        {{"questions", static_cast<double>(r.questions)},
+         {"rounds", static_cast<double>(r.rounds)}});
     std::printf("  ParallelSL questions per round:");
     for (const int64_t q : r.questions_per_round) {
       std::printf(" %lld", static_cast<long long>(q));
@@ -105,6 +117,7 @@ void RunAlgorithms(const Dataset& toy) {
 }  // namespace
 
 int main() {
+  bench::JsonReportScope report("toy_walkthrough");
   const Dataset toy = MakeToyDataset();
   std::printf("CrowdSky toy walkthrough (Figure 1 dataset, 12 tuples)\n");
   const DominanceStructure structure(PreferenceMatrix::FromKnown(toy));

@@ -475,8 +475,10 @@ void InvariantAuditor::AuditResult(const AlgoResult& result,
     expected.AndNotWith(completion.nonskyline);
     report->Check(skyline_bits == expected, "result.skyline_set",
                   "skyline != complement of the non-skyline set (" +
-                      std::to_string(skyline_bits.Count()) + " vs. " +
-                      std::to_string(expected.Count()) + " ids)");
+                      std::to_string(skyline_bits.AndNotCount(expected)) +
+                      " extra, " +
+                      std::to_string(expected.AndNotCount(skyline_bits)) +
+                      " missing ids)");
   }
 
   report->Check(result.incomplete_tuples >= 0 &&

@@ -25,6 +25,17 @@ class DynamicBitset {
   explicit DynamicBitset(size_t size)
       : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {}
 
+  /// Constructs a bitset of `size` bits directly from a word span (e.g. a
+  /// row of a packed parallel fill buffer), avoiding the zero-fill +
+  /// per-bit Set round trip. Missing words are treated as zero; bits past
+  /// `size` in the last word are cleared.
+  DynamicBitset(size_t size, const Word* word_data, size_t num_words)
+      : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {
+    const size_t copy = num_words < words_.size() ? num_words : words_.size();
+    for (size_t i = 0; i < copy; ++i) words_[i] = word_data[i];
+    ClearPadding();
+  }
+
   /// Number of bits.
   size_t size() const { return size_; }
   /// Number of backing 64-bit words.
@@ -96,6 +107,31 @@ class DynamicBitset {
   void AndNotWith(const DynamicBitset& other) {
     CROWDSKY_DCHECK(size_ == other.size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// this |= other, returning the popcount of the result from the same
+  /// word loop — fuses OrWith + Count for transitive-closure updates that
+  /// need the new set size.
+  size_t OrWithCount(const DynamicBitset& other) {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      const Word w = words_[i] | other.words_[i];
+      words_[i] = w;
+      n += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  /// popcount(this & ~other) without materializing the difference.
+  size_t AndNotCount(const DynamicBitset& other) const {
+    CROWDSKY_DCHECK(size_ == other.size_);
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(
+          __builtin_popcountll(words_[i] & ~other.words_[i]));
+    }
+    return n;
   }
 
   /// True iff (this & other) has at least one set bit.
@@ -173,6 +209,10 @@ class DynamicBitset {
 
   /// Direct word access (read-only), for fused custom loops.
   const Word* words() const { return words_.data(); }
+  /// Mutable word access for bulk fill paths (e.g. the parallel dominance
+  /// transpose) that write whole words. Callers must keep padding bits
+  /// past size() clear.
+  Word* words() { return words_.data(); }
 
  private:
   // Bits beyond size_ in the last word must stay clear so Count()/None()

@@ -1,0 +1,200 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace crowdsky {
+namespace {
+
+// True on threads that are pool workers; nested ParallelFor calls detect
+// this and run inline instead of enqueuing (the fixed-size pool could not
+// otherwise guarantee progress for the inner loop).
+thread_local bool tls_in_pool_worker = false;
+
+std::unique_ptr<ThreadPool> g_pool;                 // NOLINT
+std::mutex g_pool_mutex;                            // NOLINT
+
+}  // namespace
+
+struct ThreadPool::Job {
+  explicit Job(size_t n) : pending(n) {}
+  std::mutex m;
+  std::condition_variable cv;
+  size_t pending;            // guarded by m
+  std::exception_ptr error;  // first chunk failure; guarded by m
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  const auto num_workers = static_cast<size_t>(num_threads_ - 1);
+  deques_.resize(num_workers);
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // single-thread pool: synchronous, deterministic
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    deques_[next_deque_].push_back(std::move(task));
+    next_deque_ = (next_deque_ + 1) % deques_.size();
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [this] {
+    if (busy_workers_ != 0) return false;
+    for (const auto& d : deques_) {
+      if (!d.empty()) return false;
+    }
+    return true;
+  });
+}
+
+bool ThreadPool::PopTask(size_t self, std::function<void()>* task) {
+  // Callers hold mutex_. Own deque first (front: LIFO-ish cache locality
+  // for the owner), then steal from the back of the other deques.
+  if (self < deques_.size() && !deques_[self].empty()) {
+    *task = std::move(deques_[self].front());
+    deques_[self].pop_front();
+    return true;
+  }
+  const size_t n = deques_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t victim = (self + 1 + k) % n;
+    if (victim == self || deques_[victim].empty()) continue;
+    *task = std::move(deques_[victim].back());
+    deques_[victim].pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_in_pool_worker = true;
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(self, &task)) {
+      ++busy_workers_;
+      lk.unlock();
+      task();
+      lk.lock();
+      --busy_workers_;
+      if (busy_workers_ == 0) cv_.notify_all();  // wake WaitIdle
+      continue;
+    }
+    if (stop_) return;
+    cv_.wait(lk);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  if (num_threads_ <= 1 || n <= grain || tls_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  // ~4 chunks per thread so work-stealing can rebalance skewed chunks
+  // (e.g. the triangular row loops of DominanceStructure).
+  const auto target = static_cast<size_t>(num_threads_) * 4;
+  size_t chunk = (n + target - 1) / target;
+  if (chunk < grain) chunk = grain;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  Job job(num_chunks);
+  const std::function<void(size_t, size_t)>* body = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t b = begin + c * chunk;
+      const size_t e = b + chunk < end ? b + chunk : end;
+      deques_[next_deque_].emplace_back([&job, body, b, e] {
+        const bool was_worker = tls_in_pool_worker;
+        tls_in_pool_worker = true;  // chunks never spawn sub-chunks
+        try {
+          (*body)(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> jlk(job.m);
+          if (!job.error) job.error = std::current_exception();
+        }
+        tls_in_pool_worker = was_worker;
+        // The decrement, notify and unlock all happen before the caller
+        // can observe pending == 0 under job.m, so destroying the
+        // stack-allocated Job after that observation is safe.
+        std::lock_guard<std::mutex> jlk(job.m);
+        if (--job.pending == 0) job.cv.notify_all();
+      });
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates until its job drains.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> jlk(job.m);
+      if (job.pending == 0) break;
+    }
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!PopTask(deques_.size(), &task)) task = nullptr;
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    // Nothing runnable: the remaining chunks are in flight on workers.
+    std::unique_lock<std::mutex> jlk(job.m);
+    job.cv.wait(jlk, [&job] { return job.pending == 0; });
+    break;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  return *g_pool;
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("CROWDSKY_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(
+      num_threads >= 1 ? num_threads : DefaultThreads());
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,117 @@
+// ThreadPool: the shared parallel substrate for CrowdSky's machine-side
+// hot paths (dominance-structure construction, partition/merge skylines,
+// bench sweeps).
+//
+// Design:
+//  * work-stealing scheduling — each worker owns a deque; it pops from the
+//    front of its own deque and steals from the back of a victim's, so a
+//    ParallelFor whose early chunks are cheap (triangular loops) rebalances
+//    automatically,
+//  * a deterministic single-thread fallback — with one thread the pool
+//    spawns no workers and ParallelFor degenerates to one inline call of
+//    fn(begin, end) on the caller's thread, so every paper-figure output is
+//    bit-identical to the historical serial code at threads=1,
+//  * CROWDSKY_THREADS env override — the global pool sizes itself from
+//    CROWDSKY_THREADS if set (clamped to >= 1), else
+//    std::thread::hardware_concurrency(),
+//  * exception propagation — the first exception thrown by any chunk is
+//    captured and rethrown on the calling thread once the loop drains,
+//  * nested-call safety — a ParallelFor issued from inside a pool task runs
+//    inline on that worker (no new tasks), so nested parallel code cannot
+//    deadlock the fixed-size pool.
+//
+// Synchronization is intentionally simple (one pool mutex guarding the
+// deques plus per-job atomics): tasks are coarse chunks, so queue traffic
+// is negligible next to chunk execution, and the simple locking is easy to
+// prove race-free under the tsan preset.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crowdsky {
+
+/// \brief Fixed-size work-stealing thread pool with a blocking ParallelFor.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` total parallelism. `num_threads - 1`
+  /// workers are spawned (the caller of ParallelFor is the remaining
+  /// executor); with `num_threads <= 1` no threads are spawned at all.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  CROWDSKY_DISALLOW_COPY(ThreadPool);
+
+  /// Total parallelism (including the calling thread), >= 1.
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one task for asynchronous execution. Safe to call from
+  /// within a running task. Exceptions thrown by `task` abort (tasks
+  /// submitted this way have nowhere to rethrow); use ParallelFor for
+  /// exception-propagating parallel work.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
+  /// of at least `grain` indices, in parallel, and blocks until all chunks
+  /// complete. With one thread (or a nested call from a pool worker, or a
+  /// range no larger than `grain`) this is exactly one inline call
+  /// fn(begin, end). Rethrows the first exception raised by any chunk.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// The process-wide pool, sized by DefaultThreads() on first use (or the
+  /// latest SetGlobalThreads call).
+  static ThreadPool& Global();
+
+  /// Thread count the global pool uses when not overridden:
+  /// CROWDSKY_THREADS if set and >= 1, else hardware_concurrency().
+  static int DefaultThreads();
+
+  /// Recreates the global pool with `num_threads` threads (0 restores
+  /// DefaultThreads()). Only for tests and benchmarks; callers must ensure
+  /// no parallel work is in flight.
+  static void SetGlobalThreads(int num_threads);
+
+ private:
+  struct Job;  // shared completion state of one ParallelFor
+
+  void WorkerLoop(size_t self);
+  bool PopTask(size_t self, std::function<void()>* task);
+
+  int num_threads_;
+  bool stop_ = false;
+  std::mutex mutex_;             // guards deques_ and stop_
+  std::condition_variable cv_;   // workers sleep here
+  std::vector<std::deque<std::function<void()>>> deques_;
+  int busy_workers_ = 0;         // workers currently executing a task
+  size_t next_deque_ = 0;        // round-robin submission cursor
+  std::vector<std::thread> workers_;
+};
+
+/// Scoped override of the global pool size; restores DefaultThreads() (the
+/// env-driven size) on destruction. Test/bench helper.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads) {
+    ThreadPool::SetGlobalThreads(num_threads);
+  }
+  ~ScopedThreads() { ThreadPool::SetGlobalThreads(0); }
+  CROWDSKY_DISALLOW_COPY(ScopedThreads);
+};
+
+/// Convenience forwarder to ThreadPool::Global().ParallelFor.
+inline void ParallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace crowdsky

@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace crowdsky {
 
+// Construction is block-partitioned over the global thread pool. Every
+// phase writes disjoint rows (or runs serially), so the resulting
+// structure is bit-identical for every thread count — the parallelism
+// only changes wall time, never any paper-figure output.
 DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
     : n_(known.size()) {
   const auto un = static_cast<size_t>(n_);
@@ -13,6 +19,7 @@ DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
   ds_size_.assign(un, 0);
   layer_of_.assign(un, 0);
   direct_dominators_.resize(un);
+  ThreadPool& pool = ThreadPool::Global();
 
   // Score-sorted sweep: if a dominates b then Score(a) < Score(b), so only
   // the earlier tuple of each sorted pair needs testing.
@@ -25,17 +32,49 @@ DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
   std::stable_sort(order.begin(), order.end(), [&score](int a, int b) {
     return score[static_cast<size_t>(a)] < score[static_cast<size_t>(b)];
   });
-  for (size_t i = 0; i < un; ++i) {
-    const int a = order[i];
-    for (size_t j = i + 1; j < un; ++j) {
-      const int b = order[j];
-      if (known.Dominates(a, b)) {
-        dominatees_[static_cast<size_t>(a)].Set(static_cast<size_t>(b));
-        dominators_[static_cast<size_t>(b)].Set(static_cast<size_t>(a));
-        ++ds_size_[static_cast<size_t>(b)];
+
+  // Phase 1 — dominatee rows, one row-range per chunk. Thread i only
+  // writes dominatees_ rows of its own sorted positions; the triangular
+  // row costs are rebalanced by work-stealing.
+  pool.ParallelFor(0, un, 8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const int a = order[i];
+      DynamicBitset& row = dominatees_[static_cast<size_t>(a)];
+      for (size_t j = i + 1; j < un; ++j) {
+        const int b = order[j];
+        if (known.Dominates(a, b)) row.Set(static_cast<size_t>(b));
       }
     }
-  }
+  });
+
+  // Phase 2 — dominators_ is the transpose of dominatees_. Partitioning
+  // the *column* space on word boundaries makes every dominator row the
+  // property of exactly one chunk, so the scatter needs no atomics.
+  const size_t word_count = un == 0 ? 0 : dominatees_[0].word_count();
+  pool.ParallelFor(0, word_count, 1, [&](size_t wlo, size_t whi) {
+    using Word = DynamicBitset::Word;
+    for (size_t a = 0; a < un; ++a) {
+      const Word* src = dominatees_[a].words();
+      const size_t aw = a / DynamicBitset::kBitsPerWord;
+      const Word abit = Word{1} << (a % DynamicBitset::kBitsPerWord);
+      for (size_t wi = wlo; wi < whi; ++wi) {
+        Word bits = src[wi];
+        while (bits != 0) {
+          const size_t b = wi * DynamicBitset::kBitsPerWord +
+                           static_cast<size_t>(__builtin_ctzll(bits));
+          dominators_[b].words()[aw] |= abit;
+          bits &= bits - 1;
+        }
+      }
+    }
+  });
+
+  // Merge pass — sizes, evaluation order, skyline, layers.
+  pool.ParallelFor(0, un, 64, [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      ds_size_[t] = static_cast<int>(dominators_[t].Count());
+    }
+  });
 
   evaluation_order_.assign(order.begin(), order.end());
   std::stable_sort(evaluation_order_.begin(), evaluation_order_.end(),
@@ -52,7 +91,7 @@ DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
 
   // Layers via longest dominance chains: layer(t) = 1 + max layer among
   // dominators. evaluation_order_ is a topological order (Lemma 3), so a
-  // single pass suffices.
+  // single serial pass suffices.
   for (const int t : evaluation_order_) {
     int max_layer = 0;
     dominators_[static_cast<size_t>(t)].ForEachSetBit([&](size_t s) {
@@ -68,16 +107,29 @@ DominanceStructure::DominanceStructure(const PreferenceMatrix& known)
   }
 
   // Direct dominators (transitive reduction): s in c(t) iff s dominates t
-  // and dominates no other dominator of t.
-  for (int t = 0; t < n_; ++t) {
-    const DynamicBitset& ds_bits = dominators_[static_cast<size_t>(t)];
-    ds_bits.ForEachSetBit([&](size_t s) {
-      if (!dominatees_[s].Intersects(ds_bits)) {
-        direct_dominators_[static_cast<size_t>(t)].push_back(
-            static_cast<int>(s));
-      }
-    });
+  // and dominates no other dominator of t. Layer-ordered node list: layer
+  // 1 is exactly the empty-dominator-set nodes, so starting at layer 2
+  // skips them without a per-node test; each remaining node is
+  // independent, so the scan parallelizes over the pool.
+  std::vector<int> nodes;
+  nodes.reserve(un - known_skyline_.size());
+  for (int l = 2; l <= num_layers_; ++l) {
+    const std::vector<int>& members = layers_[static_cast<size_t>(l - 1)];
+    nodes.insert(nodes.end(), members.begin(), members.end());
   }
+  pool.ParallelFor(0, nodes.size(), 16, [&](size_t lo, size_t hi) {
+    for (size_t idx = lo; idx < hi; ++idx) {
+      const auto t = static_cast<size_t>(nodes[idx]);
+      const DynamicBitset& ds_bits = dominators_[t];
+      std::vector<int>& direct = direct_dominators_[t];
+      direct.reserve(static_cast<size_t>(std::min(ds_size_[t], 8)));
+      ds_bits.ForEachSetBit([&](size_t s) {
+        if (!dominatees_[s].Intersects(ds_bits)) {
+          direct.push_back(static_cast<int>(s));
+        }
+      });
+    }
+  });
 }
 
 }  // namespace crowdsky

@@ -10,8 +10,12 @@
 //    graph c(t) (transitive reduction of AK dominance) used by ParallelSL.
 //
 // Construction is O(n^2) pairwise dominance tests with word-parallel set
-// operations afterwards; ~10^4 tuples (the paper's largest setting) build
-// in well under a second.
+// operations afterwards, block-partitioned across the global ThreadPool
+// (see common/thread_pool.h): each thread fills disjoint row-ranges of the
+// dominatee bitsets over the score-sorted order, a word-partitioned
+// transpose fills the dominator rows, and a merge pass derives sizes,
+// layers and direct dominators. Every phase writes disjoint state, so the
+// structure is bit-identical for every CROWDSKY_THREADS value.
 #pragma once
 
 #include <vector>

@@ -219,5 +219,76 @@ TEST(DynamicBitsetTest, RandomizedBulkOpsAgainstReference) {
   }
 }
 
+TEST(DynamicBitsetTest, OrWithCountMatchesOrWithPlusCount) {
+  Rng rng(77);
+  const size_t kBits = 517;
+  for (int trial = 0; trial < 10; ++trial) {
+    DynamicBitset a(kBits), b(kBits);
+    for (int i = 0; i < 120; ++i) {
+      a.Set(static_cast<size_t>(rng.NextBounded(kBits)));
+      b.Set(static_cast<size_t>(rng.NextBounded(kBits)));
+    }
+    DynamicBitset expected = a;
+    expected.OrWith(b);
+    DynamicBitset fused = a;
+    const size_t count = fused.OrWithCount(b);
+    EXPECT_EQ(count, expected.Count());
+    for (size_t i = 0; i < kBits; ++i) {
+      ASSERT_EQ(fused.Test(i), expected.Test(i)) << "bit " << i;
+    }
+  }
+}
+
+TEST(DynamicBitsetTest, AndNotCountMatchesSetDifference) {
+  Rng rng(78);
+  const size_t kBits = 200;
+  for (int trial = 0; trial < 10; ++trial) {
+    DynamicBitset a(kBits), b(kBits);
+    std::set<size_t> ra, rb;
+    for (int i = 0; i < 80; ++i) {
+      const auto x = static_cast<size_t>(rng.NextBounded(kBits));
+      const auto y = static_cast<size_t>(rng.NextBounded(kBits));
+      a.Set(x);
+      ra.insert(x);
+      b.Set(y);
+      rb.insert(y);
+    }
+    size_t diff = 0;
+    for (const size_t x : ra) diff += 1 - rb.count(x);
+    EXPECT_EQ(a.AndNotCount(b), diff);
+    EXPECT_EQ(b.AndNotCount(b), 0u);
+    EXPECT_EQ(a.AndNotCount(DynamicBitset(kBits)), a.Count());
+  }
+}
+
+TEST(DynamicBitsetTest, WordSpanConstructor) {
+  DynamicBitset src(130);
+  src.Set(0);
+  src.Set(64);
+  src.Set(129);
+  const DynamicBitset copy(130, src.words(), src.word_count());
+  EXPECT_EQ(copy.Count(), 3u);
+  EXPECT_TRUE(copy.Test(0));
+  EXPECT_TRUE(copy.Test(64));
+  EXPECT_TRUE(copy.Test(129));
+  // A shorter target truncates and clears padding past `size`.
+  const DynamicBitset narrow(65, src.words(), src.word_count());
+  EXPECT_EQ(narrow.Count(), 2u);
+  EXPECT_TRUE(narrow.Test(0));
+  EXPECT_TRUE(narrow.Test(64));
+  // Fewer source words than the target zero-fills the tail.
+  const DynamicBitset padded(130, src.words(), 1);
+  EXPECT_EQ(padded.Count(), 1u);
+  EXPECT_TRUE(padded.Test(0));
+  EXPECT_FALSE(padded.Test(64));
+}
+
+TEST(DynamicBitsetTest, MutableWordsWritesAreVisible) {
+  DynamicBitset b(128);
+  b.words()[1] = DynamicBitset::Word{1} << 5;
+  EXPECT_TRUE(b.Test(64 + 5));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
 }  // namespace
 }  // namespace crowdsky

@@ -1,0 +1,160 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crowdsky {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> seen;
+  pool.ParallelFor(3, 11, 2, [&](size_t begin, size_t end) {
+    // threads=1 must make exactly one call covering the whole range, on
+    // the calling thread — this is the determinism fallback.
+    EXPECT_EQ(begin, 3u);
+    EXPECT_EQ(end, 11u);
+    for (size_t i = begin; i < end; ++i) seen.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ThreadPoolTest, ZeroAndEmptyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 0, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 100003;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(0, n, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 10, 100, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 8,
+                       [&](size_t begin, size_t) {
+                         if (begin == 0) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must drain the failed job completely and accept new work.
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, 1000, 8, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // A worker (or the participating caller) re-entering ParallelFor
+      // must run the nested body inline rather than wait on the pool.
+      pool.ParallelFor(0, 10, 1, [&](size_t b, size_t e) {
+        inner_total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("CROWDSKY_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
+  ::setenv("CROWDSKY_THREADS", "0", 1);  // invalid -> hardware fallback
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  ::unsetenv("CROWDSKY_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ScopedThreadsOverridesAndRestoresGlobal) {
+  const int before = ThreadPool::Global().num_threads();
+  {
+    ScopedThreads scoped(3);
+    EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+    std::atomic<size_t> total{0};
+    ParallelFor(0, 500, 16, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 500u);
+  }
+  EXPECT_EQ(ThreadPool::Global().num_threads(), before);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentParallelForsFromOneCaller) {
+  ThreadPool pool(4);
+  std::vector<int64_t> results(64, 0);
+  for (int round = 0; round < 64; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 10000, 128, [&](size_t begin, size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += static_cast<int64_t>(i);
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    results[static_cast<size_t>(round)] = sum.load();
+  }
+  const int64_t expected = 10000LL * 9999 / 2;
+  for (const int64_t r : results) EXPECT_EQ(r, expected);
+}
+
+}  // namespace
+}  // namespace crowdsky
