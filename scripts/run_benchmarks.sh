@@ -12,7 +12,7 @@
 #
 # Usage:
 #   scripts/run_benchmarks.sh [--smoke] [--out-dir DIR] [--build-dir DIR]
-#                             [--threads N] [--only NAME[,NAME...]]
+#                             [--threads N] [--only NAME[,NAME...]] [--list]
 #
 #   --smoke      fast CI mode: CROWDSKY_BENCH_RUNS=1,
 #                CROWDSKY_BENCH_SCALE=0.05, and micro benches capped with
@@ -20,7 +20,8 @@
 #   --out-dir    where BENCH_*.json land (default: bench-results)
 #   --build-dir  build tree to use (default: build/release)
 #   --threads    sets CROWDSKY_THREADS for every binary
-#   --only       comma-separated subset of bench names to run
+#   --only       comma-separated subset of bench names to run (see --list)
+#   --list       print the available bench names and exit
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +32,7 @@ out_dir="bench-results"
 build_dir="build/release"
 threads=""
 only=""
+list_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=1; shift ;;
@@ -38,6 +40,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --threads) threads="$2"; shift 2 ;;
     --only) only="$2"; shift 2 ;;
+    --list) list_only=1; shift ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) echo "error: unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -46,7 +49,29 @@ done
 benches=(toy_walkthrough fig6_questions_ind fig7_questions_ant
          fig8_rounds_cardinality fig9_rounds_dimensionality
          fig10_voting_accuracy fig11_accuracy_comparison
-         fig12_real_datasets ablations)
+         fig12_real_datasets ablations robustness_sweep)
+
+if [[ ${list_only} -eq 1 ]]; then
+  printf '%s\n' "${benches[@]}" micro
+  exit 0
+fi
+
+# Reject unknown --only names up front; a typo would otherwise run nothing
+# and fail later with a confusing "no reports produced" error.
+if [[ -n "${only}" ]]; then
+  IFS=',' read -r -a only_names <<< "${only}"
+  for name in "${only_names[@]}"; do
+    known=0
+    for bench in "${benches[@]}" micro; do
+      [[ "${name}" == "${bench}" ]] && known=1
+    done
+    if [[ ${known} -eq 0 ]]; then
+      echo "error: unknown bench name '${name}' in --only;" \
+           "run with --list to see the available names" >&2
+      exit 2
+    fi
+  done
+fi
 if [[ ${smoke} -eq 1 ]]; then
   export CROWDSKY_BENCH_RUNS=1
   export CROWDSKY_BENCH_SCALE="${CROWDSKY_BENCH_SCALE:-0.05}"
@@ -56,12 +81,17 @@ if [[ -n "${threads}" ]]; then
 fi
 
 if [[ ! -x "${build_dir}/bench/micro_benchmarks" ]]; then
-  echo "== configuring and building (${build_dir}) =="
   if [[ "${build_dir}" == "build/release" ]]; then
+    echo "== configuring and building (${build_dir}) =="
     cmake --preset release >/dev/null
     cmake --build --preset release -j "$(nproc)" >/dev/null
+  elif [[ ! -d "${build_dir}" ]]; then
+    echo "error: build directory '${build_dir}' does not exist;" \
+         "configure and build it first (e.g. cmake --preset release &&" \
+         "cmake --build --preset release)" >&2
+    exit 2
   else
-    echo "error: ${build_dir} has no bench binaries; build it first." >&2
+    echo "error: '${build_dir}' has no bench binaries; build it first." >&2
     exit 2
   fi
 fi

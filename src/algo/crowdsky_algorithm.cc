@@ -56,13 +56,16 @@ void ResolveKnownTies(const Dataset& dataset, CrowdKnowledge* knowledge,
         if (r == AcRelation::kUnknown) {
           for (int attr = 0; attr < knowledge->num_attrs(); ++attr) {
             if (knowledge->graph(attr).Comparable(s, c)) continue;
-            const bool cached = session->IsCached(attr, s, c);
-            if (!cached && !session->CanAsk()) {
+            if (!session->IsCached(attr, s, c) &&
+                !session->IsUnresolved(attr, s, c) && !session->CanAsk()) {
               break;  // budget exhausted: leave the pair unresolved
             }
-            const Answer a = session->Ask(attr, s, c);
-            knowledge->Record(attr, s, c, a).CheckOK();
-            if (!cached) paid_this_round = true;
+            const CrowdSession::AskResult res = session->TryAsk(attr, s, c);
+            if (res.paid) paid_this_round = true;
+            if (res.status == AskStatus::kUnresolved) {
+              continue;  // retry cap ran dry; the attribute stays unknown
+            }
+            knowledge->Record(attr, s, c, res.answer).CheckOK();
           }
           r = knowledge->Relation(s, c);
         }
@@ -144,14 +147,32 @@ void AuditFinalState(const Dataset& dataset,
 }
 
 void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
-               int64_t free_lookups, AlgoResult* result) {
-  result->questions =
-      session.stats().questions + session.stats().unary_questions;
-  result->rounds = session.stats().rounds;
-  result->free_lookups = free_lookups + session.stats().cache_hits;
+               int64_t free_lookups, int num_tuples, AlgoResult* result) {
+  const SessionStats& s = session.stats();
+  result->questions = s.questions + s.unary_questions;
+  result->rounds = s.rounds;
+  result->free_lookups = free_lookups + s.cache_hits;
   result->worker_answers = session.oracle_stats().worker_answers;
   result->contradictions = knowledge.contradiction_count();
   result->questions_per_round = session.questions_per_round();
+  result->retries = s.retries;
+  result->degraded_quorum = s.degraded_quorum;
+  result->failed_attempts = s.failed_attempts;
+  result->backoff_rounds = s.backoff_rounds;
+
+  CompletenessReport& c = result->completeness;
+  std::sort(c.undetermined_tuples.begin(), c.undetermined_tuples.end());
+  c.complete = c.undetermined_tuples.empty();
+  c.determined_tuples =
+      num_tuples - static_cast<int64_t>(c.undetermined_tuples.size());
+  // Each retry re-pays an already-counted question, and every unresolved
+  // question's attempts never produced an answer; the remainder is the
+  // set of distinct pair questions that were actually resolved.
+  c.resolved_questions = s.questions - s.retries - s.unresolved_questions;
+  c.unresolved_questions = s.unresolved_questions;
+  c.budget_exhausted = !c.complete && session.question_budget() >= 0 &&
+                       !session.CanAsk();
+  c.retries_exhausted = s.unresolved_questions > 0;
 }
 
 }  // namespace internal
@@ -195,7 +216,10 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
       if (evaluator.Step()) session->EndRound();
     }
     free_lookups += evaluator.free_lookups();
-    if (!evaluator.complete()) ++result.incomplete_tuples;
+    if (!evaluator.complete()) {
+      ++result.incomplete_tuples;
+      result.completeness.undetermined_tuples.push_back(t);
+    }
     if (evaluator.is_skyline()) {
       completion.MarkSkyline(t);
       result.skyline.push_back(t);
@@ -206,7 +230,7 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());
-  internal::FillStats(*session, knowledge, free_lookups, &result);
+  internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {
     internal::AuditFinalState(dataset, structure, knowledge, *session,
                               completion, result, &audit_report);

@@ -37,9 +37,13 @@ void ResolveKnownTies(const Dataset& dataset, CrowdKnowledge* knowledge,
                       CrowdSession* session, CompletionState* completion,
                       bool parallel_rounds);
 
-/// Fills the result's aggregate counters from the session and knowledge.
+/// Fills the result's aggregate counters (including the robustness
+/// counters and the completeness report) from the session and knowledge.
+/// The driver must have pushed every undetermined tuple id into
+/// result->completeness.undetermined_tuples beforehand; FillStats sorts
+/// the list and derives the report's aggregate fields from it.
 void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
-               int64_t free_lookups, AlgoResult* result);
+               int64_t free_lookups, int num_tuples, AlgoResult* result);
 
 /// The end-of-run half of CrowdSkyOptions::audit, shared by the Serial,
 /// ParallelDSet and ParallelSL drivers: appends to `report` the audits of

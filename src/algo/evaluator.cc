@@ -63,20 +63,27 @@ void TupleEvaluator::BuildProbePairs() {
 
 bool TupleEvaluator::AskPair(int u, int v, size_t freq, AskMode mode) {
   bool paid = false;
+  last_ask_unresolved_ = false;
   const AskContext ctx{freq};
   for (int attr = 0; attr < knowledge_->num_attrs(); ++attr) {
     const PreferenceGraph& g = knowledge_->graph(attr);
     if (pruning_.use_transitivity && g.Comparable(u, v)) {
       continue;  // already implied by the preference tree
     }
-    if (!session_->IsCached(attr, u, v) && !session_->CanAsk()) {
+    if (!session_->IsCached(attr, u, v) &&
+        !session_->IsUnresolved(attr, u, v) && !session_->CanAsk()) {
       budget_aborted_ = true;
       break;
     }
-    const bool cached = session_->IsCached(attr, u, v);
-    const Answer answer = session_->Ask(attr, u, v, ctx);
-    knowledge_->Record(attr, u, v, answer).CheckOK();
-    if (!cached) paid = true;
+    const CrowdSession::AskResult res = session_->TryAsk(attr, u, v, ctx);
+    if (res.paid) paid = true;
+    if (res.status == AskStatus::kUnresolved) {
+      // Retry cap ran dry for this attribute question; it will never get
+      // an answer. Other attributes may still decide the pair.
+      last_ask_unresolved_ = true;
+      continue;
+    }
+    knowledge_->Record(attr, u, v, res.answer).CheckOK();
     if (multi_attr_ == MultiAttributeStrategy::kRoundRobin) {
       // Early exits: stop as soon as the pair's fate is decided.
       if (knowledge_->Relation(u, v) != AcRelation::kUnknown) break;
@@ -85,6 +92,7 @@ bool TupleEvaluator::AskPair(int u, int v, size_t freq, AskMode mode) {
       }
     }
   }
+  if (last_ask_unresolved_) ++unresolved_pair_asks_;
   if (!paid) ++free_lookups_;
   return paid;
 }
@@ -142,6 +150,12 @@ bool TupleEvaluator::Step() {
         case AcRelation::kIncomparable:
           break;  // |AC| > 1: neither endpoint can prune the other
         case AcRelation::kUnknown:
+          if (last_ask_unresolved_) {
+            // The pair can never be fully resolved (retry cap exhausted).
+            // Probe pairs only trim DS(t), so skipping one costs pruning
+            // power but never correctness.
+            break;
+          }
           // Round-robin paid for one attribute but the pair is still
           // undecided; resume the same pair on the next step.
           CROWDSKY_DCHECK(paid);
@@ -186,6 +200,13 @@ bool TupleEvaluator::Step() {
       }
       dominated_ = true;
       ds_.Reset(static_cast<size_t>(s));
+    } else if (r == AcRelation::kUnknown && last_ask_unresolved_) {
+      // (s, t) exhausted its retry cap: whether s dominates t is
+      // permanently unknowable. Drop s and keep going best-effort; the
+      // tuple is reported undetermined (in the skyline unless some other
+      // dominator proves otherwise).
+      ds_.Reset(static_cast<size_t>(s));
+      undetermined_ = true;
     } else if (r == AcRelation::kUnknown &&
                knowledge_->CanWeaklyPrefer(s, t_)) {
       // Round-robin: the pair is still undecided; resume next step.

@@ -19,6 +19,14 @@
 // question budget runs out the evaluator finalizes the tuple in its
 // current (possibly incomplete) state: in the skyline unless already
 // proven dominated.
+//
+// Under a fault plan a question can come back *unresolved* (its retry cap
+// ran dry). The evaluator degrades instead of aborting: an unresolved
+// probe pair only costs pruning power and is skipped; an unresolved query
+// pair (s, t) means s's dominance over t can never be decided, so s is
+// dropped from consideration and the tuple is finalized as undetermined —
+// kept in the skyline unless already proven dominated, and reported
+// incomplete.
 #pragma once
 
 #include <vector>
@@ -69,15 +77,18 @@ class TupleEvaluator {
     CROWDSKY_DCHECK(done());
     return is_skyline_;
   }
-  /// Valid once done(): false iff the question budget ran out before the
-  /// tuple became complete in the Definition-4 sense.
+  /// Valid once done(): false iff the question budget or a query pair's
+  /// retry cap ran out before the tuple became complete in the
+  /// Definition-4 sense.
   bool complete() const {
     CROWDSKY_DCHECK(done());
-    return !budget_aborted_;
+    return !budget_aborted_ && !undetermined_;
   }
   int tuple() const { return t_; }
   /// Relations resolved without paying (cache hits + transitivity).
   int64_t free_lookups() const { return free_lookups_; }
+  /// Pair asks that came back unresolved (retry cap exhausted).
+  int64_t unresolved_pair_asks() const { return unresolved_pair_asks_; }
 
  private:
   enum class Phase { kInit, kProbe, kQuery, kDone };
@@ -93,7 +104,9 @@ class TupleEvaluator {
   void BuildProbePairs();
   /// Asks crowd-attribute questions for (u, v) per the multi-attribute
   /// strategy; records answers; sets budget_aborted_ when the session's
-  /// budget runs out mid-pair. Returns true iff any question was paid for.
+  /// budget runs out mid-pair and last_ask_unresolved_ when any attribute
+  /// question of the pair came back unresolved. Returns true iff any
+  /// question was paid for.
   bool AskPair(int u, int v, size_t freq, AskMode mode);
   void Finalize(bool is_skyline);
   std::vector<int> Members() const { return ds_.ToVector(); }
@@ -116,7 +129,13 @@ class TupleEvaluator {
   /// decided).
   bool dominated_ = false;
   bool budget_aborted_ = false;
+  /// Set when a query pair's retry cap ran dry: t's fate can no longer be
+  /// fully determined, only best-effort.
+  bool undetermined_ = false;
+  /// Set by AskPair when the last pair had an unresolved attribute ask.
+  bool last_ask_unresolved_ = false;
   int64_t free_lookups_ = 0;
+  int64_t unresolved_pair_asks_ = 0;
 };
 
 }  // namespace crowdsky

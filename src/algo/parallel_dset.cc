@@ -17,9 +17,7 @@ int64_t RunBatchLockstep(const std::vector<int>& batch,
                          const DominanceStructure& structure,
                          CrowdKnowledge* knowledge, CrowdSession* session,
                          CompletionState* completion,
-                         const CrowdSkyOptions& options,
-                         std::vector<int>* skyline_out,
-                         int64_t* incomplete_tuples) {
+                         const CrowdSkyOptions& options, AlgoResult* result) {
   std::vector<std::unique_ptr<TupleEvaluator>> evaluators;
   evaluators.reserve(batch.size());
   for (const int t : batch) {
@@ -43,10 +41,13 @@ int64_t RunBatchLockstep(const std::vector<int>& batch,
   }
   for (auto& ev : evaluators) {
     free_lookups += ev->free_lookups();
-    if (!ev->complete()) ++*incomplete_tuples;
+    if (!ev->complete()) {
+      ++result->incomplete_tuples;
+      result->completeness.undetermined_tuples.push_back(ev->tuple());
+    }
     if (ev->is_skyline()) {
       completion->MarkSkyline(ev->tuple());
-      skyline_out->push_back(ev->tuple());
+      result->skyline.push_back(ev->tuple());
     } else {
       completion->MarkNonSkyline(ev->tuple());
     }
@@ -138,14 +139,13 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
         }
       }
       free_lookups += RunBatchLockstep(batch, structure, &knowledge, session,
-                                       &completion, options, &result.skyline,
-                                       &result.incomplete_tuples);
+                                       &completion, options, &result);
       if (monitor) monitor->Observe(completion, &audit_report);
     }
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());
-  internal::FillStats(*session, knowledge, free_lookups, &result);
+  internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {
     internal::AuditFinalState(dataset, structure, knowledge, *session,
                               completion, result, &audit_report);

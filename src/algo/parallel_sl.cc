@@ -67,7 +67,10 @@ AlgoResult RunParallelSL(const Dataset& dataset,
   auto on_complete = [&](const TupleEvaluator& ev) {
     const int t = ev.tuple();
     free_lookups += ev.free_lookups();
-    if (!ev.complete()) ++result.incomplete_tuples;
+    if (!ev.complete()) {
+      ++result.incomplete_tuples;
+      result.completeness.undetermined_tuples.push_back(t);
+    }
     if (ev.is_skyline()) {
       completion.MarkSkyline(t);
       result.skyline.push_back(t);
@@ -107,7 +110,7 @@ AlgoResult RunParallelSL(const Dataset& dataset,
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());
-  internal::FillStats(*session, knowledge, free_lookups, &result);
+  internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {
     internal::AuditFinalState(dataset, structure, knowledge, *session,
                               completion, result, &audit_report);

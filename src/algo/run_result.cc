@@ -1,0 +1,26 @@
+#include "algo/run_result.h"
+
+#include <sstream>
+
+namespace crowdsky {
+
+std::string CompletenessReport::ToString() const {
+  if (complete) {
+    std::ostringstream oss;
+    oss << "complete (" << determined_tuples << " tuples, "
+        << resolved_questions << " questions resolved)";
+    return oss.str();
+  }
+  std::ostringstream oss;
+  oss << "best-effort: " << undetermined_tuples.size() << " of "
+      << (determined_tuples +
+          static_cast<int64_t>(undetermined_tuples.size()))
+      << " tuples undetermined (" << resolved_questions << " questions "
+      << "resolved, " << unresolved_questions << " unresolved";
+  if (budget_exhausted) oss << "; budget exhausted";
+  if (retries_exhausted) oss << "; retry cap exhausted";
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace crowdsky

@@ -79,6 +79,32 @@ struct CrowdSkyOptions {
   bool audit = false;
 };
 
+/// Best-effort execution report: how much of the skyline decision was
+/// actually resolved when the run ended. On an unconstrained, fault-free
+/// run it is trivially complete; under a question budget or a fault plan
+/// whose retry caps ran dry it names exactly what is still undetermined,
+/// so a caller gets a usable partial answer instead of an abort.
+struct CompletenessReport {
+  /// True iff every tuple's skyline membership was determined.
+  bool complete = true;
+  int64_t determined_tuples = 0;
+  /// Tuples whose membership is undetermined, ascending. They are kept in
+  /// the skyline unless already proven dominated (Section 2.3's
+  /// in-by-default rule).
+  std::vector<int> undetermined_tuples;
+  /// Distinct pair questions that received an aggregated answer.
+  int64_t resolved_questions = 0;
+  /// Distinct pair questions given up on (retry cap or budget mid-retry).
+  int64_t unresolved_questions = 0;
+  /// The question budget gated at least one ask.
+  bool budget_exhausted = false;
+  /// At least one question exhausted its retry cap.
+  bool retries_exhausted = false;
+
+  /// "complete" or a one-line summary of what is undetermined and why.
+  std::string ToString() const;
+};
+
 /// Outcome of one crowd-enabled skyline execution.
 struct AlgoResult {
   /// Skyline tuple ids, ascending. When the question budget ran out this
@@ -104,6 +130,21 @@ struct AlgoResult {
   int64_t contradictions = 0;
   /// Questions issued in each round (input to AmtCostModel).
   std::vector<int64_t> questions_per_round;
+
+  // --- Robustness counters (0 on a fault-free run) -----------------------
+  /// Failed attempts that were re-asked (each retry is a paid question,
+  /// included in `questions` and in the cost model's rounds).
+  int64_t retries = 0;
+  /// Answers accepted from a partial vote set (quorum degradation).
+  int64_t degraded_quorum = 0;
+  /// Paid attempts that produced no answer.
+  int64_t failed_attempts = 0;
+  /// Latency-only rounds lost to retry backoff and expired HITs; add to
+  /// `rounds` for wall-clock latency (money is unaffected — empty rounds
+  /// post no HITs).
+  int64_t backoff_rounds = 0;
+  /// What was (and was not) determined when the run ended.
+  CompletenessReport completeness;
 };
 
 }  // namespace crowdsky

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "algo/evaluator.h"
 #include "algo/run_result.h"
@@ -80,8 +80,15 @@ SessionSnapshot SnapshotSession(const CrowdSession& session) {
   snap.rounds = session.stats().rounds;
   snap.open_round_questions = session.open_round_questions();
   snap.budget = session.question_budget();
+  snap.retries = session.stats().retries;
+  snap.unresolved = session.stats().unresolved_questions;
   snap.questions_per_round = session.questions_per_round();
   snap.paid_pairs = session.paid_questions();
+  snap.retry_pairs.reserve(session.retry_events().size());
+  for (const RetryEvent& e : session.retry_events()) {
+    snap.retry_pairs.push_back(e.question);
+  }
+  snap.unresolved_pairs = session.unresolved_questions();
   return snap;
 }
 
@@ -334,7 +341,8 @@ void InvariantAuditor::AuditSessionSnapshot(const SessionSnapshot& snapshot,
   report->Check(snapshot.pair_questions >= 0 &&
                     snapshot.unary_questions >= 0 &&
                     snapshot.cache_hits >= 0 && snapshot.rounds >= 0 &&
-                    snapshot.open_round_questions >= 0,
+                    snapshot.open_round_questions >= 0 &&
+                    snapshot.retries >= 0 && snapshot.unresolved >= 0,
                 "session.counters", "a session counter is negative");
   report->Check(
       snapshot.pair_questions ==
@@ -344,16 +352,51 @@ void InvariantAuditor::AuditSessionSnapshot(const SessionSnapshot& snapshot,
           " != paid-question log size " +
           std::to_string(snapshot.paid_pairs.size()));
 
-  std::unordered_set<PairQuestion, PairQuestionHash> seen;
-  seen.reserve(snapshot.paid_pairs.size());
+  std::unordered_map<PairQuestion, int64_t, PairQuestionHash> paid_count;
+  paid_count.reserve(snapshot.paid_pairs.size());
   for (const PairQuestion& q : snapshot.paid_pairs) {
     report->Check(q.attr >= 0 && q.first >= 0 && q.first < q.second,
                   "session.canonical_log",
                   "paid question attr=" + std::to_string(q.attr) + " " +
                       Pair(q.first, q.second) + " is not canonical");
-    report->Check(seen.insert(q).second, "session.no_repay",
+    ++paid_count[q];
+  }
+  // The resilience ledger: a pair appears in the paid log exactly
+  // 1 + (its recorded retries) times — no question is ever paid for
+  // twice without a retry event justifying the extra attempt.
+  std::unordered_map<PairQuestion, int64_t, PairQuestionHash> retry_count;
+  retry_count.reserve(snapshot.retry_pairs.size());
+  for (const PairQuestion& q : snapshot.retry_pairs) {
+    ++retry_count[q];
+    report->Check(paid_count.count(q) > 0, "session.retry_unpaid",
+                  "retry recorded for attr=" + std::to_string(q.attr) + " " +
+                      Pair(q.first, q.second) +
+                      " which never appears in the paid log");
+  }
+  report->Check(
+      snapshot.retries == static_cast<int64_t>(snapshot.retry_pairs.size()),
+      "session.retry_log",
+      "retry counter " + std::to_string(snapshot.retries) +
+          " != retry log size " + std::to_string(snapshot.retry_pairs.size()));
+  for (const auto& [q, paid] : paid_count) {
+    const auto it = retry_count.find(q);
+    const int64_t retries = it == retry_count.end() ? 0 : it->second;
+    report->Check(paid == 1 + retries, "session.no_repay",
                   "pair attr=" + std::to_string(q.attr) + " " +
-                      Pair(q.first, q.second) + " was paid for twice");
+                      Pair(q.first, q.second) + " was paid for " +
+                      std::to_string(paid) + " times with " +
+                      std::to_string(retries) + " recorded retries");
+  }
+  report->Check(snapshot.unresolved ==
+                    static_cast<int64_t>(snapshot.unresolved_pairs.size()),
+                "session.unresolved_log",
+                "unresolved counter " + std::to_string(snapshot.unresolved) +
+                    " != unresolved set size " +
+                    std::to_string(snapshot.unresolved_pairs.size()));
+  for (const PairQuestion& q : snapshot.unresolved_pairs) {
+    report->Check(paid_count.count(q) > 0, "session.unresolved_unpaid",
+                  "unresolved pair attr=" + std::to_string(q.attr) + " " +
+                      Pair(q.first, q.second) + " was never paid for");
   }
 
   int64_t per_round_total = 0;
@@ -392,10 +435,16 @@ void InvariantAuditor::AuditSession(const CrowdSession& session,
                                     AuditReport* report) const {
   AuditSessionSnapshot(SnapshotSession(session), report);
   for (const PairQuestion& q : session.paid_questions()) {
-    report->Check(session.IsCached(q.attr, q.first, q.second),
-                  "session.cache",
+    const bool cached = session.IsCached(q.attr, q.first, q.second);
+    const bool unresolved = session.IsUnresolved(q.attr, q.first, q.second);
+    report->Check(cached || unresolved, "session.cache",
                   "paid pair attr=" + std::to_string(q.attr) + " " +
-                      Pair(q.first, q.second) + " is missing from the cache");
+                      Pair(q.first, q.second) +
+                      " is neither cached nor marked unresolved");
+    report->Check(!(cached && unresolved), "session.unresolved_cached",
+                  "pair attr=" + std::to_string(q.attr) + " " +
+                      Pair(q.first, q.second) +
+                      " is both cached and marked unresolved");
   }
 }
 
@@ -511,6 +560,76 @@ void InvariantAuditor::AuditResult(const AlgoResult& result,
                     std::to_string(stats.cache_hits));
   report->Check(result.contradictions >= 0, "result.contradictions",
                 "negative contradiction count");
+  report->Check(result.retries == stats.retries, "result.retries",
+                "result reports " + std::to_string(result.retries) +
+                    " retries, the session recorded " +
+                    std::to_string(stats.retries));
+  report->Check(result.degraded_quorum == stats.degraded_quorum,
+                "result.degraded_quorum",
+                "result reports " + std::to_string(result.degraded_quorum) +
+                    " degraded-quorum answers, the session recorded " +
+                    std::to_string(stats.degraded_quorum));
+  report->Check(result.failed_attempts == stats.failed_attempts,
+                "result.failed_attempts",
+                "result reports " + std::to_string(result.failed_attempts) +
+                    " failed attempts, the session recorded " +
+                    std::to_string(stats.failed_attempts));
+  report->Check(result.backoff_rounds == stats.backoff_rounds,
+                "result.backoff_rounds",
+                "result reports " + std::to_string(result.backoff_rounds) +
+                    " backoff rounds, the session recorded " +
+                    std::to_string(stats.backoff_rounds));
+
+  // Completeness report: the tuple and question ledgers must add up.
+  const CompletenessReport& comp = result.completeness;
+  bool undetermined_ok = true;
+  for (size_t i = 0; i < comp.undetermined_tuples.size(); ++i) {
+    const int t = comp.undetermined_tuples[i];
+    if (t < 0 || t >= num_tuples ||
+        (i > 0 && comp.undetermined_tuples[i - 1] >= t)) {
+      undetermined_ok = false;
+      break;
+    }
+  }
+  report->Check(undetermined_ok, "result.undetermined_ids",
+                "undetermined tuple ids are not strictly ascending within "
+                "range");
+  report->Check(static_cast<int64_t>(comp.undetermined_tuples.size()) ==
+                    result.incomplete_tuples,
+                "result.undetermined_count",
+                std::to_string(comp.undetermined_tuples.size()) +
+                    " undetermined ids vs incomplete_tuples = " +
+                    std::to_string(result.incomplete_tuples));
+  report->Check(comp.complete == comp.undetermined_tuples.empty(),
+                "result.complete_flag",
+                "completeness flag disagrees with the undetermined list");
+  report->Check(comp.determined_tuples +
+                        static_cast<int64_t>(comp.undetermined_tuples.size()) ==
+                    num_tuples,
+                "result.determined_sum",
+                std::to_string(comp.determined_tuples) + " determined + " +
+                    std::to_string(comp.undetermined_tuples.size()) +
+                    " undetermined != " + std::to_string(num_tuples) +
+                    " tuples");
+  report->Check(comp.resolved_questions ==
+                    stats.questions - stats.retries -
+                        stats.unresolved_questions,
+                "result.resolved_questions",
+                "resolved-question count disagrees with the session's "
+                "attempt/retry/unresolved ledger");
+  report->Check(comp.unresolved_questions == stats.unresolved_questions,
+                "result.unresolved_questions",
+                "result reports " + std::to_string(comp.unresolved_questions) +
+                    " unresolved questions, the session recorded " +
+                    std::to_string(stats.unresolved_questions));
+  report->Check(comp.retries_exhausted == (stats.unresolved_questions > 0),
+                "result.retries_exhausted",
+                "retries_exhausted flag disagrees with the session's "
+                "unresolved count");
+  report->Check(!comp.budget_exhausted ||
+                    (session.question_budget() >= 0 && !session.CanAsk()),
+                "result.budget_exhausted",
+                "budget_exhausted reported but the session can still ask");
 }
 
 CompletionMonitor::CompletionMonitor(int n)

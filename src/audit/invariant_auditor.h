@@ -79,8 +79,14 @@ struct SessionSnapshot {
   int64_t rounds = 0;
   int64_t open_round_questions = 0;
   int64_t budget = -1;  ///< negative = unlimited
+  int64_t retries = 0;
+  int64_t unresolved = 0;
   std::vector<int64_t> questions_per_round;
   std::vector<PairQuestion> paid_pairs;  ///< canonical, in ask order
+  /// One entry per recorded retry, canonical (from retry_events()).
+  std::vector<PairQuestion> retry_pairs;
+  /// The questions given up on, canonical.
+  std::vector<PairQuestion> unresolved_pairs;
 };
 
 SessionSnapshot SnapshotSession(const CrowdSession& session);
@@ -122,14 +128,17 @@ class InvariantAuditor {
                                AuditReport* report) const;
 
   /// Session accounting on a (possibly fabricated) snapshot: paid-pair log
-  /// matches the question counter, no pair paid twice, canonical log
-  /// entries, per-round counts positive and summing to the questions
-  /// asked, round counter matching, budget respected.
+  /// matches the question counter, canonical log entries, per-round counts
+  /// positive and summing to the questions asked, round counter matching,
+  /// budget respected, and the resilience ledger — a pair may appear in
+  /// the paid log exactly 1 + (its recorded retries) times (no silent
+  /// double-pay), every retry refers to a paid question, and every
+  /// unresolved question was paid for at least once.
   void AuditSessionSnapshot(const SessionSnapshot& snapshot,
                             AuditReport* report) const;
 
   /// Snapshot + accounting checks for a live session, plus "every paid
-  /// pair is cached".
+  /// pair is cached or unresolved (never both)".
   void AuditSession(const CrowdSession& session, AuditReport* report) const;
 
   /// Recomputes HITs and cost from `questions_per_round` with the paper's
@@ -141,7 +150,9 @@ class InvariantAuditor {
   /// End-of-run consistency between an AlgoResult, the session it ran
   /// through, and the final completion state: all tuples complete, the
   /// skyline is exactly the sorted complement of the non-skyline set,
-  /// and every counter mirrors the session stats.
+  /// every counter (including the robustness counters) mirrors the
+  /// session stats, and the completeness report's tuple/question ledgers
+  /// add up.
   void AuditResult(const AlgoResult& result, const CrowdSession& session,
                    int num_tuples, const CompletionState& completion,
                    AuditReport* report) const;

@@ -65,6 +65,18 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         "algorithms (the sort baselines and the unary method need their "
         "full question sets)");
   }
+  if (options.marketplace.faults.enabled()) {
+    if (options.oracle != OracleKind::kMarketplace) {
+      return Status::InvalidArgument(
+          "fault injection requires the marketplace oracle");
+    }
+    if (!crowdsky_family) {
+      return Status::InvalidArgument(
+          "fault injection is only supported by the CrowdSky-family "
+          "algorithms (the sort baselines and the unary method have no "
+          "degraded path for an unresolved question)");
+    }
+  }
 
   const DominanceStructure structure(PreferenceMatrix::FromKnown(dataset));
 
@@ -92,6 +104,7 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
   if (options.max_questions > 0) {
     session.SetQuestionBudget(options.max_questions);
   }
+  session.SetRetryPolicy(options.retry);
 
   EngineResult result;
   switch (options.algorithm) {

@@ -67,8 +67,15 @@ struct EngineOptions {
 
   /// Platform configuration used when `oracle` is kMarketplace (its
   /// population model; `worker` above is ignored in that case, and the
-  /// marketplace pool is seeded from `seed`).
+  /// marketplace pool is seeded from `seed`). Fault injection
+  /// (marketplace.faults) requires kMarketplace and a CrowdSky-family
+  /// algorithm — the sort baselines and the unary method have no degraded
+  /// path for an unresolved question.
   MarketplaceOptions marketplace;
+
+  /// How the session retries failed question attempts (no-ops unless the
+  /// oracle can fail, i.e. a marketplace with a fault plan).
+  RetryPolicy retry;
 
   AmtCostModel cost_model;
 };

@@ -1,0 +1,20 @@
+#include "crowd/fault_injector.h"
+
+#include <cstdio>
+#include <string>
+
+namespace crowdsky {
+
+std::string FaultPlanSummary(const FaultPlan& plan) {
+  if (!plan.enabled()) return "faults disabled";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "transient=%.3g expire=%.3g(%dr) no-show=%.3g straggle=%.3g"
+                "(%dr)",
+                plan.transient_error_rate, plan.hit_expiration_rate,
+                plan.hit_expiration_rounds, plan.worker_no_show_rate,
+                plan.straggler_rate, plan.straggler_delay_rounds);
+  return buf;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the simulated crowd marketplace.
+//
+// A real platform (the paper's Section 6.2 AMT deployment) is not
+// frictionless: workers accept a HIT and never submit, answers straggle in
+// after the round closed, whole HITs expire unanswered, and the platform
+// itself occasionally drops a request. The FaultInjector turns those
+// failure modes into a deterministic, seeded stream of per-attempt and
+// per-assignment fates so that the same seed and FaultPlan replay the
+// exact same failure trace (and the exact same retry/requeue decisions
+// downstream in CrowdSession).
+//
+// Determinism contract: the injector owns its own RNG stream, derived from
+// the marketplace seed but independent of the worker-vote stream. With
+// every rate at 0 (the default plan) no random number is ever drawn, so a
+// fault-free run consumes exactly the same RNG sequence as a build without
+// fault injection — bit-identical results, costs, and question counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace crowdsky {
+
+/// Failure rates of the simulated platform. All rates are probabilities in
+/// [0, 1]; the default (all zero) reproduces the frictionless marketplace.
+struct FaultPlan {
+  /// Per-attempt: the platform rejects/drops the posted question outright
+  /// (a transient error — retrying is expected to succeed eventually).
+  double transient_error_rate = 0.0;
+  /// Per-attempt: the HIT expires before enough workers pick it up; no
+  /// votes arrive and `hit_expiration_rounds` rounds of latency are lost.
+  double hit_expiration_rate = 0.0;
+  int hit_expiration_rounds = 2;
+  /// Per-assignment: the worker accepts the question but never submits an
+  /// answer (abandonment); their vote is simply missing.
+  double worker_no_show_rate = 0.0;
+  /// Per-assignment: the worker answers, but the answer lands
+  /// `straggler_delay_rounds` rounds after the question's round closed, so
+  /// it cannot be counted toward the aggregated answer.
+  double straggler_rate = 0.0;
+  int straggler_delay_rounds = 1;
+
+  bool enabled() const {
+    return transient_error_rate > 0.0 || hit_expiration_rate > 0.0 ||
+           worker_no_show_rate > 0.0 || straggler_rate > 0.0;
+  }
+};
+
+/// Fate of one paid attempt at a question, decided before any worker is
+/// sampled.
+enum class AttemptFault {
+  kNone,            ///< the HIT runs; individual votes may still fail
+  kTransientError,  ///< platform error: no workers ever see the question
+  kHitExpired,      ///< HIT expired unanswered after some rounds
+};
+
+/// Fate of one worker-assignment within a running attempt.
+enum class VoteFault {
+  kOnTime,     ///< the vote arrives and counts
+  kNoShow,     ///< the worker abandons; no vote exists
+  kStraggler,  ///< the vote arrives too late to count this attempt
+};
+
+/// \brief Seeded source of marketplace failure decisions.
+class FaultInjector {
+ public:
+  /// `seed` should be derived from (not equal to) the marketplace seed so
+  /// the fault stream is independent of the worker-vote stream.
+  FaultInjector(const FaultPlan& plan, uint64_t seed)
+      : plan_(plan), rng_(seed) {
+    CROWDSKY_CHECK_MSG(
+        plan.transient_error_rate >= 0.0 && plan.transient_error_rate <= 1.0 &&
+            plan.hit_expiration_rate >= 0.0 &&
+            plan.hit_expiration_rate <= 1.0 &&
+            plan.worker_no_show_rate >= 0.0 &&
+            plan.worker_no_show_rate <= 1.0 && plan.straggler_rate >= 0.0 &&
+            plan.straggler_rate <= 1.0,
+        "fault rates must be probabilities in [0, 1]");
+    CROWDSKY_CHECK(plan.hit_expiration_rounds >= 0 &&
+                   plan.straggler_delay_rounds >= 0);
+  }
+
+  bool enabled() const { return plan_.enabled(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Draws the fate of the next paid attempt. Rates of zero draw nothing
+  /// from the RNG (Rng::Bernoulli short-circuits), keeping disabled fault
+  /// classes out of the random stream.
+  AttemptFault NextAttemptFault() {
+    if (rng_.Bernoulli(plan_.transient_error_rate)) {
+      return AttemptFault::kTransientError;
+    }
+    if (rng_.Bernoulli(plan_.hit_expiration_rate)) {
+      return AttemptFault::kHitExpired;
+    }
+    return AttemptFault::kNone;
+  }
+
+  /// Draws the fate of the next worker-assignment.
+  VoteFault NextVoteFault() {
+    if (rng_.Bernoulli(plan_.worker_no_show_rate)) return VoteFault::kNoShow;
+    if (rng_.Bernoulli(plan_.straggler_rate)) return VoteFault::kStraggler;
+    return VoteFault::kOnTime;
+  }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+/// One-line human-readable description of a plan ("faults disabled" or the
+/// configured rates); used by benches and logs.
+std::string FaultPlanSummary(const FaultPlan& plan);
+
+}  // namespace crowdsky

@@ -3,6 +3,16 @@
 #include <algorithm>
 
 namespace crowdsky {
+namespace {
+
+/// Derives the fault-injector seed from the pool seed: same inputs, same
+/// fault trace, but a stream independent of the worker-vote RNG.
+uint64_t FaultSeed(uint64_t seed) {
+  uint64_t state = seed ^ 0x8f1e7a9b3c5d2e4fULL;
+  return SplitMix64(&state);
+}
+
+}  // namespace
 
 CrowdMarketplace::CrowdMarketplace(const Dataset& dataset,
                                    MarketplaceOptions options,
@@ -10,7 +20,11 @@ CrowdMarketplace::CrowdMarketplace(const Dataset& dataset,
     : crowd_(PreferenceMatrix::FromCrowd(dataset)),
       options_(options),
       voting_(voting),
-      rng_(options.seed) {
+      rng_(options.seed),
+      // The fault stream is derived from the pool seed but independent of
+      // the worker-vote stream (rng_), so a disabled plan draws nothing
+      // and the fault-free run stays bit-identical.
+      fault_injector_(options.faults, FaultSeed(options.seed)) {
   CROWDSKY_CHECK_MSG(options_.pool_size > 0, "pool must not be empty");
   CROWDSKY_CHECK(options_.gold_questions >= 0);
   workers_.reserve(static_cast<size_t>(options_.pool_size));
@@ -102,27 +116,16 @@ Answer CrowdMarketplace::WorkerVote(const Worker& w, const PairQuestion& q) {
   return FlipAnswer(truth);
 }
 
-Answer CrowdMarketplace::AnswerPair(const PairQuestion& q,
-                                    const AskContext& ctx) {
-  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
-  ++stats_.pair_questions;
-  std::vector<int> assigned;
-  SampleDistinct(voting_.WorkersFor(ctx.freq), &assigned);
-  double votes[3] = {0, 0, 0};
-  for (const int id : assigned) {
-    Worker& w = workers_[static_cast<size_t>(id)];
-    double weight = 1.0;
-    if (options_.weighted_votes && options_.gold_questions > 0) {
-      // Log-odds of the worker's estimated accuracy: reliable workers
-      // outvote doubtful ones; a coin-flipper weighs ~0.
-      const double p = std::clamp(w.gold_accuracy, 0.51, 0.99);
-      const double odds = p / (1.0 - p);
-      weight = __builtin_log(odds);
-    }
-    votes[static_cast<int>(WorkerVote(w, q))] += weight;
-    ++w.answers_given;
-    ++stats_.worker_answers;
-  }
+double CrowdMarketplace::VoteWeight(const Worker& w) const {
+  if (!options_.weighted_votes || options_.gold_questions <= 0) return 1.0;
+  // Log-odds of the worker's estimated accuracy: reliable workers
+  // outvote doubtful ones; a coin-flipper weighs ~0.
+  const double p = std::clamp(w.gold_accuracy, 0.51, 0.99);
+  const double odds = p / (1.0 - p);
+  return __builtin_log(odds);
+}
+
+Answer CrowdMarketplace::Tally(const double votes[3], const PairQuestion& q) {
   if (votes[0] > votes[1] && votes[0] >= votes[2]) {
     return Answer::kFirstPreferred;
   }
@@ -132,6 +135,98 @@ Answer CrowdMarketplace::AnswerPair(const PairQuestion& q,
   if (votes[2] >= votes[0] && votes[2] >= votes[1]) return Answer::kEqual;
   return q.first < q.second ? Answer::kFirstPreferred
                             : Answer::kSecondPreferred;
+}
+
+Answer CrowdMarketplace::AnswerPair(const PairQuestion& q,
+                                    const AskContext& ctx) {
+  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
+  ++stats_.pair_questions;
+  std::vector<int> assigned;
+  SampleDistinct(voting_.WorkersFor(ctx.freq), &assigned);
+  double votes[3] = {0, 0, 0};
+  for (const int id : assigned) {
+    Worker& w = workers_[static_cast<size_t>(id)];
+    votes[static_cast<int>(WorkerVote(w, q))] += VoteWeight(w);
+    ++w.answers_given;
+    ++stats_.worker_answers;
+  }
+  return Tally(votes, q);
+}
+
+PairOutcome CrowdMarketplace::AnswerPairOutcome(const PairQuestion& q,
+                                                const AskContext& ctx) {
+  if (!fault_injector_.enabled()) {
+    // Frictionless platform: the exact pre-fault-injection code path, so
+    // question counts, RNG use, and answers stay bit-identical.
+    return CrowdOracle::AnswerPairOutcome(q, ctx);
+  }
+  CROWDSKY_CHECK(q.attr >= 0 && q.attr < crowd_.dims());
+  ++stats_.pair_questions;
+  PairOutcome out;
+  switch (fault_injector_.NextAttemptFault()) {
+    case AttemptFault::kTransientError:
+      ++stats_.transient_errors;
+      ++stats_.failed_attempts;
+      out.status = PairOutcome::Status::kFailed;
+      out.transient_error = true;
+      return out;
+    case AttemptFault::kHitExpired:
+      ++stats_.expired_hits;
+      ++stats_.failed_attempts;
+      out.status = PairOutcome::Status::kFailed;
+      out.hit_expired = true;
+      out.extra_latency_rounds = options_.faults.hit_expiration_rounds;
+      return out;
+    case AttemptFault::kNone:
+      break;
+  }
+  std::vector<int> assigned;
+  SampleDistinct(voting_.WorkersFor(ctx.freq), &assigned);
+  out.votes_expected = static_cast<int>(assigned.size());
+  double votes[3] = {0, 0, 0};
+  for (const int id : assigned) {
+    Worker& w = workers_[static_cast<size_t>(id)];
+    switch (fault_injector_.NextVoteFault()) {
+      case VoteFault::kNoShow:
+        // The worker abandoned the HIT: no vote exists and (as on AMT)
+        // no answer is paid for.
+        ++out.no_shows;
+        ++stats_.no_show_assignments;
+        continue;
+      case VoteFault::kStraggler:
+        // The worker did answer — the vote consumes their attention and
+        // our money — but it landed after the round closed, so it cannot
+        // be aggregated into this attempt's answer.
+        (void)WorkerVote(w, q);
+        ++w.answers_given;
+        ++stats_.worker_answers;
+        ++stats_.straggler_answers;
+        ++out.stragglers;
+        continue;
+      case VoteFault::kOnTime:
+        break;
+    }
+    votes[static_cast<int>(WorkerVote(w, q))] += VoteWeight(w);
+    ++w.answers_given;
+    ++stats_.worker_answers;
+    ++out.votes_counted;
+  }
+  // Quorum degradation: a partial vote set is still acceptable down to a
+  // strict majority of the assignment (ω−2 of ω when two of five workers
+  // straggle); below the majority floor the attempt fails and the session
+  // decides whether to re-ask.
+  const int majority_floor = out.votes_expected / 2 + 1;
+  if (out.votes_counted < majority_floor) {
+    ++stats_.failed_attempts;
+    out.status = PairOutcome::Status::kFailed;
+    return out;
+  }
+  out.answer = Tally(votes, q);
+  if (out.votes_counted < out.votes_expected) {
+    ++stats_.degraded_answers;
+    out.status = PairOutcome::Status::kDegradedQuorum;
+  }
+  return out;
 }
 
 double CrowdMarketplace::AnswerUnary(int id, int attr,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "crowd/fault_injector.h"
 #include "crowd/oracle.h"
 
 namespace crowdsky {
@@ -50,6 +51,13 @@ struct MarketplaceOptions {
   /// quality track of CDAS [11] and friends, which the paper treats as
   /// orthogonal). Requires gold_questions > 0 to have any effect.
   bool weighted_votes = false;
+  /// Platform failure model (crowd/fault_injector.h). The default plan is
+  /// frictionless; any non-zero rate makes AnswerPairOutcome report
+  /// degraded or failed attempts that CrowdSession retries. The fault
+  /// stream is seeded from `seed` but independent of the worker-vote
+  /// stream, so disabling every rate reproduces the fault-free run
+  /// bit-for-bit.
+  FaultPlan faults;
   uint64_t seed = 42;
 };
 
@@ -65,6 +73,16 @@ class CrowdMarketplace : public CrowdOracle {
   Answer AnswerPair(const PairQuestion& q, const AskContext& ctx) override;
   double AnswerUnary(int id, int attr, const AskContext& ctx) override;
 
+  /// One paid attempt under the configured FaultPlan: the attempt may be
+  /// lost to a transient error or HIT expiration, and individual
+  /// assignments may no-show or straggle. An answer is aggregated whenever
+  /// at least a strict majority of the assigned workers voted on time
+  /// (kOk at full quorum, kDegradedQuorum below it); otherwise the attempt
+  /// fails and the caller decides whether to retry. With the default
+  /// (disabled) plan this is exactly AnswerPair().
+  PairOutcome AnswerPairOutcome(const PairQuestion& q,
+                                const AskContext& ctx) override;
+
   const std::vector<Worker>& workers() const { return workers_; }
   int pool_size() const { return static_cast<int>(workers_.size()); }
   int qualified_count() const { return static_cast<int>(qualified_.size()); }
@@ -76,11 +94,17 @@ class CrowdMarketplace : public CrowdOracle {
   /// Samples `count` distinct qualified worker indices.
   void SampleDistinct(int count, std::vector<int>* out);
   Answer WorkerVote(const Worker& w, const PairQuestion& q);
+  /// Vote weight of a worker under the configured weighting scheme.
+  double VoteWeight(const Worker& w) const;
+  /// Majority answer from a weighted tally, with the deterministic
+  /// tie-breaks AnswerPair has always used.
+  static Answer Tally(const double votes[3], const PairQuestion& q);
 
   PreferenceMatrix crowd_;
   MarketplaceOptions options_;
   VotingPolicy voting_;
   Rng rng_;
+  FaultInjector fault_injector_;
   std::vector<Worker> workers_;
   std::vector<int> qualified_;  // indices into workers_
   std::vector<double> value_range_;

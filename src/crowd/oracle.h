@@ -19,11 +19,41 @@
 
 namespace crowdsky {
 
-/// Cumulative oracle-side counters.
+/// Cumulative oracle-side counters. The robustness counters (everything
+/// below `worker_answers`) stay 0 unless the oracle injects faults.
 struct OracleStats {
-  int64_t pair_questions = 0;    ///< pair-wise questions answered
+  int64_t pair_questions = 0;    ///< pair-wise question attempts answered
   int64_t unary_questions = 0;   ///< unary questions answered
-  int64_t worker_answers = 0;    ///< individual worker assignments consumed
+  int64_t worker_answers = 0;    ///< individual worker answers received
+  int64_t degraded_answers = 0;  ///< answers aggregated below full quorum
+  int64_t failed_attempts = 0;   ///< attempts that produced no answer
+  int64_t no_show_assignments = 0;  ///< assigned workers who never answered
+  int64_t straggler_answers = 0;    ///< answers that arrived too late
+  int64_t transient_errors = 0;     ///< attempts lost to platform errors
+  int64_t expired_hits = 0;         ///< attempts lost to HIT expiration
+};
+
+/// Outcome of one *paid attempt* at a pair question, including the
+/// vote-collection detail a resilient caller (CrowdSession) needs for
+/// retry/requeue decisions. Fault-free oracles always return kOk.
+struct PairOutcome {
+  enum class Status {
+    kOk,              ///< full quorum answered
+    kDegradedQuorum,  ///< answer aggregated from a partial vote set (at
+                      ///< least a strict majority of the assignment)
+    kFailed,          ///< no usable answer; the attempt's money is spent
+  };
+  Status status = Status::kOk;
+  Answer answer = Answer::kEqual;  ///< meaningful unless status == kFailed
+  int votes_expected = 0;  ///< workers assigned (0 = oracle doesn't vote)
+  int votes_counted = 0;   ///< on-time votes aggregated into `answer`
+  int no_shows = 0;
+  int stragglers = 0;
+  bool transient_error = false;
+  bool hit_expired = false;
+  /// Extra latency (rounds) this attempt wasted, e.g. waiting out an
+  /// expired HIT. Pure latency: it costs rounds, not money.
+  int extra_latency_rounds = 0;
 };
 
 /// \brief Interface: answers crowd questions about a fixed dataset.
@@ -34,6 +64,18 @@ class CrowdOracle {
   /// Majority-voted answer to a pair-wise question. `ctx.freq` carries the
   /// question's importance for dynamic voting.
   virtual Answer AnswerPair(const PairQuestion& q, const AskContext& ctx) = 0;
+
+  /// One paid attempt at a pair question, reporting how vote collection
+  /// went. The default implementation wraps AnswerPair() in an always-kOk
+  /// outcome, so fault-free oracles behave exactly as before; oracles that
+  /// simulate platform failures (CrowdMarketplace with a FaultPlan)
+  /// override it. CrowdSession drives all pair asks through this method.
+  virtual PairOutcome AnswerPairOutcome(const PairQuestion& q,
+                                        const AskContext& ctx) {
+    PairOutcome out;
+    out.answer = AnswerPair(q, ctx);
+    return out;
+  }
 
   /// Estimated (noisy) value of tuple `id` on crowd attribute `attr`
   /// (position within crowd_indices), normalized so smaller is preferred.

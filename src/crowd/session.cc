@@ -1,27 +1,87 @@
 #include "crowd/session.h"
 
-namespace crowdsky {
+#include <algorithm>
 
-Answer CrowdSession::Ask(int attr, int u, int v, const AskContext& ctx) {
-  CROWDSKY_CHECK_MSG(u != v, "pair question needs two distinct tuples");
-  const PairQuestion canonical = PairQuestion{attr, u, v}.Canonical();
-  const bool flipped = canonical.first != u;
-  auto it = cache_.find(canonical);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    return flipped ? FlipAnswer(it->second) : it->second;
-  }
-  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
-  const Answer canonical_answer = oracle_->AnswerPair(canonical, ctx);
-  cache_.emplace(canonical, canonical_answer);
+namespace crowdsky {
+namespace {
+
+RetryEvent::Reason ReasonFor(const PairOutcome& outcome) {
+  if (outcome.transient_error) return RetryEvent::Reason::kTransientError;
+  if (outcome.hit_expired) return RetryEvent::Reason::kHitExpired;
+  return RetryEvent::Reason::kInsufficientQuorum;
+}
+
+}  // namespace
+
+void CrowdSession::ChargeAttempt(const PairQuestion& canonical) {
   paid_questions_.push_back(canonical);
   ++stats_.questions;
   ++open_round_questions_;
-  return flipped ? FlipAnswer(canonical_answer) : canonical_answer;
+}
+
+CrowdSession::AskResult CrowdSession::TryAsk(int attr, int u, int v,
+                                             const AskContext& ctx) {
+  CROWDSKY_CHECK_MSG(u != v, "pair question needs two distinct tuples");
+  const PairQuestion canonical = PairQuestion{attr, u, v}.Canonical();
+  const bool flipped = canonical.first != u;
+  if (auto it = cache_.find(canonical); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return {AskStatus::kAnswered,
+            flipped ? FlipAnswer(it->second) : it->second,
+            /*paid=*/false};
+  }
+  if (unresolved_.contains(canonical)) {
+    // Already given up on: stay given up (the retry cap is per question,
+    // not per caller) and charge nothing.
+    return {AskStatus::kUnresolved, Answer::kEqual, /*paid=*/false};
+  }
+  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
+  for (int attempt = 0;; ++attempt) {
+    ChargeAttempt(canonical);
+    const PairOutcome outcome = oracle_->AnswerPairOutcome(canonical, ctx);
+    if (outcome.status != PairOutcome::Status::kFailed) {
+      if (outcome.status == PairOutcome::Status::kDegradedQuorum) {
+        ++stats_.degraded_quorum;
+      }
+      cache_.emplace(canonical, outcome.answer);
+      return {AskStatus::kAnswered,
+              flipped ? FlipAnswer(outcome.answer) : outcome.answer,
+              /*paid=*/true};
+    }
+    ++stats_.failed_attempts;
+    stats_.backoff_rounds += outcome.extra_latency_rounds;
+    if (attempt >= retry_.max_retries || !CanAsk()) {
+      // Retry cap hit (or the budget cannot fund another attempt): give
+      // up on this question for the rest of the session.
+      unresolved_.insert(canonical);
+      ++stats_.unresolved_questions;
+      return {AskStatus::kUnresolved, Answer::kEqual, /*paid=*/true};
+    }
+    // Requeue with capped exponential round backoff before the retry.
+    const int shift = std::min(attempt, 30);
+    stats_.backoff_rounds +=
+        std::min<int64_t>(static_cast<int64_t>(retry_.backoff_base_rounds)
+                              << shift,
+                          retry_.max_backoff_rounds);
+    retry_events_.push_back({canonical, attempt + 1, ReasonFor(outcome)});
+    ++stats_.retries;
+  }
+}
+
+Answer CrowdSession::Ask(int attr, int u, int v, const AskContext& ctx) {
+  const AskResult result = TryAsk(attr, u, v, ctx);
+  CROWDSKY_CHECK_MSG(result.status == AskStatus::kAnswered,
+                     "pair question unresolved after retries; best-effort "
+                     "callers must use TryAsk()");
+  return result.answer;
 }
 
 bool CrowdSession::IsCached(int attr, int u, int v) const {
   return cache_.contains(PairQuestion{attr, u, v}.Canonical());
+}
+
+bool CrowdSession::IsUnresolved(int attr, int u, int v) const {
+  return unresolved_.contains(PairQuestion{attr, u, v}.Canonical());
 }
 
 double CrowdSession::AskUnary(int id, int attr, const AskContext& ctx) {

@@ -8,11 +8,18 @@
 //    one crowd round (Section 2.1's latency model: a round is a fixed
 //    amount of wall-clock time in which any number of *independent*
 //    questions run in parallel),
-//  * the per-round question counts that the AMT cost model consumes.
+//  * the per-round question counts that the AMT cost model consumes,
+//  * the resilient asking layer — a failed attempt (transient platform
+//    error, expired HIT, vote set below the majority floor) is requeued
+//    with a capped retry count and round-based backoff; each retry is a
+//    *paid* attempt, logged as a RetryEvent so the invariant auditor can
+//    verify that no question is paid twice without a recorded retry.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crowd/oracle.h"
@@ -20,15 +27,53 @@
 
 namespace crowdsky {
 
-/// Session-side counters (complementing OracleStats).
+/// Session-side counters (complementing OracleStats). Everything below
+/// `unary_questions` stays 0 on a fault-free run.
 struct SessionStats {
-  int64_t questions = 0;    ///< distinct pair questions sent to the crowd
+  int64_t questions = 0;    ///< paid pair-question attempts (retries incl.)
   int64_t cache_hits = 0;   ///< asks answered from the memo (free)
   int64_t rounds = 0;       ///< crowd rounds consumed
   int64_t unary_questions = 0;
+  int64_t retries = 0;            ///< failed attempts that were re-asked
+  int64_t degraded_quorum = 0;    ///< answers accepted below full quorum
+  int64_t failed_attempts = 0;    ///< paid attempts yielding no answer
+  int64_t unresolved_questions = 0;  ///< questions given up on (retry cap
+                                     ///< or budget mid-retry)
+  int64_t backoff_rounds = 0;  ///< latency-only rounds lost to retry
+                               ///< backoff and expired HITs
 };
 
-/// \brief Cache + round accounting wrapper around a CrowdOracle.
+/// How the session reacts to a failed question attempt.
+struct RetryPolicy {
+  /// Extra paid attempts allowed per question after the first one fails.
+  int max_retries = 3;
+  /// Requeue latency before retry k: backoff_base_rounds << (k-1), capped
+  /// at max_backoff_rounds. Accounted in SessionStats::backoff_rounds
+  /// (pure latency — empty rounds cost nothing under the AMT model).
+  int backoff_base_rounds = 1;
+  int max_backoff_rounds = 8;
+};
+
+/// One recorded retry: attempt `attempt` (1-based) of `question` was paid
+/// for because the previous attempt failed for `reason`.
+struct RetryEvent {
+  enum class Reason {
+    kTransientError,
+    kHitExpired,
+    kInsufficientQuorum,
+  };
+  PairQuestion question;  ///< canonical orientation
+  int attempt = 0;
+  Reason reason = Reason::kInsufficientQuorum;
+};
+
+/// Outcome of a best-effort ask.
+enum class AskStatus {
+  kAnswered,    ///< answer available (cached or freshly aggregated)
+  kUnresolved,  ///< retry cap / budget exhausted; no answer exists
+};
+
+/// \brief Cache + round accounting + retry wrapper around a CrowdOracle.
 class CrowdSession {
  public:
   /// The session does not own the oracle.
@@ -37,9 +82,17 @@ class CrowdSession {
   }
   CROWDSKY_DISALLOW_COPY(CrowdSession);
 
-  /// Caps the number of paid questions (pair + unary). Asking past the
-  /// budget is a programming error; callers must check CanAsk() first.
-  /// A negative budget (the default) means unlimited.
+  /// Caps the number of paid questions (pair attempts + unary). Asking
+  /// past the budget is a programming error; callers must check CanAsk()
+  /// first. A negative budget (the default) means unlimited.
+  ///
+  /// The budget's unit is *questions*, not worker answers: dynamic voting
+  /// (Section 5) assigns ω+2 workers to high-frequency questions, so one
+  /// paid question can consume more worker-answers than the static ω
+  /// suggests. This matches the AMT cost model, which prices per-question
+  /// HITs with a fixed ω multiplier — budgets therefore stay comparable
+  /// across voting policies, and worker_answers may legitimately exceed
+  /// budget * ω. Failed attempts and retries each consume one unit.
   void SetQuestionBudget(int64_t budget) { budget_ = budget; }
   /// True iff at least one more paid question fits the budget. Cached
   /// answers are always free.
@@ -48,14 +101,39 @@ class CrowdSession {
            stats_.questions + stats_.unary_questions < budget_;
   }
 
-  /// Asks the pair-wise question (u, v) on crowd attribute `attr`
-  /// (canonicalized internally; the returned answer is oriented so that
-  /// kFirstPreferred means `u` preferred). Cached answers are returned
-  /// without contacting the crowd and consume no round capacity.
+  /// Configures the retry/requeue behaviour for failed attempts.
+  void SetRetryPolicy(const RetryPolicy& policy) {
+    CROWDSKY_CHECK(policy.max_retries >= 0 &&
+                   policy.backoff_base_rounds >= 0 &&
+                   policy.max_backoff_rounds >= 0);
+    retry_ = policy;
+  }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  struct AskResult {
+    AskStatus status = AskStatus::kAnswered;
+    Answer answer = Answer::kEqual;  ///< valid iff status == kAnswered
+    bool paid = false;  ///< at least one paid attempt happened in this call
+  };
+
+  /// Best-effort ask of the pair-wise question (u, v) on crowd attribute
+  /// `attr` (canonicalized internally; the returned answer is oriented so
+  /// that kFirstPreferred means `u` preferred). Cached answers are
+  /// returned without contacting the crowd and consume no round capacity.
+  /// Failed attempts are retried up to the policy's cap; when the cap (or
+  /// the question budget, mid-retry) runs out the question is marked
+  /// unresolved — every later TryAsk of it returns kUnresolved for free.
+  AskResult TryAsk(int attr, int u, int v, const AskContext& ctx = {});
+
+  /// Strict ask: like TryAsk but treats an unresolved question as a
+  /// programming error. The right call for fault-free oracles and for
+  /// algorithms with no degraded path (the sort baselines).
   Answer Ask(int attr, int u, int v, const AskContext& ctx = {});
 
   /// True iff the question is already answered in the cache.
   bool IsCached(int attr, int u, int v) const;
+  /// True iff the question was given up on (retry cap exhausted).
+  bool IsUnresolved(int attr, int u, int v) const;
 
   /// Asks a unary question (value estimate); not cached (each tuple is
   /// asked once by construction in the unary baseline).
@@ -74,21 +152,44 @@ class CrowdSession {
   /// Questions asked in the currently open round.
   int64_t open_round_questions() const { return open_round_questions_; }
 
-  /// Every *paid* pair question in ask order, canonical orientation.
-  /// Consumed by the invariant auditor ("no pair is ever paid for twice");
-  /// cache hits and unary questions are not recorded here.
+  /// Every *paid* pair attempt in ask order, canonical orientation. A
+  /// question appears once per paid attempt, so retried questions repeat;
+  /// the invariant auditor matches repeats against retry_events() ("no
+  /// pair is ever paid for twice without a recorded retry"). Cache hits
+  /// and unary questions are not recorded here.
   const std::vector<PairQuestion>& paid_questions() const {
     return paid_questions_;
+  }
+  /// Every retry in pay order (one entry per re-asked attempt).
+  const std::vector<RetryEvent>& retry_events() const {
+    return retry_events_;
+  }
+  /// The questions given up on, canonical, sorted for determinism.
+  std::vector<PairQuestion> unresolved_questions() const {
+    std::vector<PairQuestion> out(unresolved_.begin(), unresolved_.end());
+    std::sort(out.begin(), out.end(), [](const PairQuestion& a,
+                                         const PairQuestion& b) {
+      if (a.attr != b.attr) return a.attr < b.attr;
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    return out;
   }
   /// The configured question budget (negative = unlimited).
   int64_t question_budget() const { return budget_; }
 
  private:
+  /// Charges one paid attempt for `canonical` to the budget and logs.
+  void ChargeAttempt(const PairQuestion& canonical);
+
   CrowdOracle* oracle_;
   std::unordered_map<PairQuestion, Answer, PairQuestionHash> cache_;
+  std::unordered_set<PairQuestion, PairQuestionHash> unresolved_;
   SessionStats stats_;
+  RetryPolicy retry_;
   std::vector<int64_t> questions_per_round_;
   std::vector<PairQuestion> paid_questions_;
+  std::vector<RetryEvent> retry_events_;
   int64_t open_round_questions_ = 0;
   int64_t budget_ = -1;
 };

@@ -1,0 +1,181 @@
+// End-to-end robustness: the CrowdSky-family drivers on a marketplace
+// with an active FaultPlan. The contract under test: no abort, a
+// best-effort skyline with a consistent CompletenessReport, deterministic
+// replay from the same seed, and bit-identical behaviour when the plan is
+// disabled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generator.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset Make(int n, uint64_t seed = 11) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = 3;
+  opt.num_crowd = 1;
+  opt.seed = seed;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+FaultPlan ModeratePlan() {
+  FaultPlan plan;
+  plan.transient_error_rate = 0.1;
+  plan.hit_expiration_rate = 0.05;
+  plan.hit_expiration_rounds = 2;
+  plan.worker_no_show_rate = 0.15;
+  plan.straggler_rate = 0.1;
+  return plan;
+}
+
+EngineOptions FaultyOptions(Algorithm algorithm) {
+  EngineOptions opts;
+  opts.algorithm = algorithm;
+  opts.oracle = OracleKind::kMarketplace;
+  opts.seed = 31;
+  opts.marketplace.faults = ModeratePlan();
+  opts.crowdsky.audit = true;  // any broken invariant aborts the test
+  return opts;
+}
+
+void ExpectConsistentCompleteness(const AlgoResult& r, int num_tuples) {
+  const CompletenessReport& c = r.completeness;
+  EXPECT_EQ(c.complete, c.undetermined_tuples.empty());
+  EXPECT_EQ(r.incomplete_tuples,
+            static_cast<int64_t>(c.undetermined_tuples.size()));
+  EXPECT_EQ(c.determined_tuples +
+                static_cast<int64_t>(c.undetermined_tuples.size()),
+            num_tuples);
+  EXPECT_EQ(c.resolved_questions,
+            r.questions - r.retries - c.unresolved_questions);
+  EXPECT_EQ(c.retries_exhausted, c.unresolved_questions > 0);
+  EXPECT_FALSE(c.ToString().empty());
+}
+
+TEST(RobustnessTest, AllDriversSurviveFaultsUnderAudit) {
+  const Dataset ds = Make(60);
+  for (const Algorithm algorithm :
+       {Algorithm::kCrowdSkySerial, Algorithm::kParallelDSet,
+        Algorithm::kParallelSL}) {
+    const EngineResult r =
+        RunSkylineQuery(ds, FaultyOptions(algorithm)).ValueOrDie();
+    ExpectConsistentCompleteness(r.algo, ds.size());
+    EXPECT_GT(r.algo.questions, 0);
+    EXPECT_GT(r.algo.failed_attempts, 0);  // the plan actually bit
+    EXPECT_GE(r.algo.retries, 0);
+    EXPECT_GT(r.cost_usd, 0.0);
+  }
+}
+
+TEST(RobustnessTest, SameSeedReplaysTheIdenticalRun) {
+  const Dataset ds = Make(70, 23);
+  const EngineOptions opts = FaultyOptions(Algorithm::kParallelSL);
+  const EngineResult a = RunSkylineQuery(ds, opts).ValueOrDie();
+  const EngineResult b = RunSkylineQuery(ds, opts).ValueOrDie();
+  EXPECT_EQ(a.algo.skyline, b.algo.skyline);
+  EXPECT_EQ(a.algo.questions, b.algo.questions);
+  EXPECT_EQ(a.algo.rounds, b.algo.rounds);
+  EXPECT_EQ(a.algo.retries, b.algo.retries);
+  EXPECT_EQ(a.algo.failed_attempts, b.algo.failed_attempts);
+  EXPECT_EQ(a.algo.degraded_quorum, b.algo.degraded_quorum);
+  EXPECT_EQ(a.algo.backoff_rounds, b.algo.backoff_rounds);
+  EXPECT_EQ(a.algo.questions_per_round, b.algo.questions_per_round);
+  EXPECT_EQ(a.algo.completeness.undetermined_tuples,
+            b.algo.completeness.undetermined_tuples);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+}
+
+TEST(RobustnessTest, DisabledPlanIsBitIdenticalToNoPlan) {
+  const Dataset ds = Make(60, 29);
+  EngineOptions plain;
+  plain.algorithm = Algorithm::kParallelSL;
+  plain.oracle = OracleKind::kMarketplace;
+  plain.seed = 17;
+  plain.crowdsky.audit = true;
+  EngineOptions zeroed = plain;
+  zeroed.marketplace.faults = FaultPlan{};  // explicit all-zero plan
+  const EngineResult a = RunSkylineQuery(ds, plain).ValueOrDie();
+  const EngineResult b = RunSkylineQuery(ds, zeroed).ValueOrDie();
+  EXPECT_EQ(a.algo.skyline, b.algo.skyline);
+  EXPECT_EQ(a.algo.questions, b.algo.questions);
+  EXPECT_EQ(a.algo.questions_per_round, b.algo.questions_per_round);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+  // No robustness machinery fires on a fault-free run.
+  EXPECT_EQ(b.algo.retries, 0);
+  EXPECT_EQ(b.algo.failed_attempts, 0);
+  EXPECT_EQ(b.algo.degraded_quorum, 0);
+  EXPECT_EQ(b.algo.backoff_rounds, 0);
+  EXPECT_TRUE(b.algo.completeness.complete);
+  EXPECT_EQ(b.algo.completeness.unresolved_questions, 0);
+}
+
+TEST(RobustnessTest, RetriesRecoverQuestionsTheNoRetryPolicyLosesTo) {
+  const Dataset ds = Make(80, 37);
+  EngineOptions opts = FaultyOptions(Algorithm::kParallelSL);
+  opts.marketplace.faults.transient_error_rate = 0.3;
+  opts.retry.max_retries = 0;
+  const EngineResult none = RunSkylineQuery(ds, opts).ValueOrDie();
+  opts.retry.max_retries = 4;
+  const EngineResult four = RunSkylineQuery(ds, opts).ValueOrDie();
+  ASSERT_GT(none.algo.failed_attempts, 0);
+  EXPECT_GT(none.algo.completeness.unresolved_questions, 0);
+  EXPECT_EQ(none.algo.retries, 0);
+  EXPECT_GT(four.algo.retries, 0);
+  EXPECT_LT(four.algo.completeness.unresolved_questions,
+            none.algo.completeness.unresolved_questions);
+}
+
+TEST(RobustnessTest, BudgetPlusFaultsYieldsBestEffortResult) {
+  const Dataset ds = Make(80, 41);
+  EngineOptions opts = FaultyOptions(Algorithm::kParallelSL);
+  opts.max_questions = 30;
+  const EngineResult r = RunSkylineQuery(ds, opts).ValueOrDie();
+  ExpectConsistentCompleteness(r.algo, ds.size());
+  EXPECT_LE(r.algo.questions, 30);
+  EXPECT_FALSE(r.algo.completeness.complete);
+  EXPECT_TRUE(r.algo.completeness.budget_exhausted);
+  // Undetermined tuples stay in the skyline (in-by-default, Section 2.3).
+  for (const int t : r.algo.completeness.undetermined_tuples) {
+    EXPECT_TRUE(std::find(r.algo.skyline.begin(), r.algo.skyline.end(), t) !=
+                r.algo.skyline.end())
+        << t;
+  }
+}
+
+TEST(RobustnessTest, SerialAndDSetDriversDegradeGracefullyToo) {
+  const Dataset ds = Make(60, 43);
+  for (const Algorithm algorithm :
+       {Algorithm::kCrowdSkySerial, Algorithm::kParallelDSet}) {
+    EngineOptions opts = FaultyOptions(algorithm);
+    opts.marketplace.faults.transient_error_rate = 0.4;
+    opts.retry.max_retries = 1;
+    const EngineResult r = RunSkylineQuery(ds, opts).ValueOrDie();
+    ExpectConsistentCompleteness(r.algo, ds.size());
+  }
+}
+
+TEST(RobustnessTest, FaultsRequireTheMarketplaceOracle) {
+  const Dataset ds = Make(30);
+  EngineOptions opts;
+  opts.algorithm = Algorithm::kParallelSL;
+  opts.oracle = OracleKind::kSimulated;
+  opts.marketplace.faults = ModeratePlan();
+  EXPECT_FALSE(RunSkylineQuery(ds, opts).ok());
+}
+
+TEST(RobustnessTest, FaultsRequireACrowdSkyFamilyAlgorithm) {
+  const Dataset ds = Make(30);
+  EngineOptions opts;
+  opts.algorithm = Algorithm::kBaselineSort;
+  opts.oracle = OracleKind::kMarketplace;
+  opts.marketplace.faults = ModeratePlan();
+  EXPECT_FALSE(RunSkylineQuery(ds, opts).ok());
+}
+
+}  // namespace
+}  // namespace crowdsky

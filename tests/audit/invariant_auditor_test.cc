@@ -235,6 +235,74 @@ TEST_F(SessionAuditTest, ReportsDuplicatePaidPair) {
   EXPECT_TRUE(HasViolation(report, "session.no_repay")) << report.ToString();
 }
 
+TEST_F(SessionAuditTest, DuplicatePaidPairWithRecordedRetryPasses) {
+  CrowdSession session(&oracle_);
+  session.Ask(0, 0, 1);
+  session.EndRound();
+  SessionSnapshot snap = SnapshotSession(session);
+  // A second paid attempt is legitimate exactly when a retry justifies it.
+  snap.paid_pairs.push_back(snap.paid_pairs.front());
+  snap.pair_questions += 1;
+  snap.questions_per_round.back() += 1;
+  snap.retry_pairs.push_back(snap.paid_pairs.front());
+  snap.retries += 1;
+  AuditReport report;
+  InvariantAuditor().AuditSessionSnapshot(snap, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(SessionAuditTest, ReportsRetryForNeverPaidPair) {
+  CrowdSession session(&oracle_);
+  session.Ask(0, 0, 1);
+  session.EndRound();
+  SessionSnapshot snap = SnapshotSession(session);
+  snap.retry_pairs.push_back(PairQuestion{0, 2, 3});  // never paid for
+  snap.retries += 1;
+  AuditReport report;
+  InvariantAuditor().AuditSessionSnapshot(snap, &report);
+  EXPECT_TRUE(HasViolation(report, "session.retry_unpaid"))
+      << report.ToString();
+}
+
+TEST_F(SessionAuditTest, ReportsRetryCounterMismatch) {
+  CrowdSession session(&oracle_);
+  session.Ask(0, 0, 1);
+  session.EndRound();
+  SessionSnapshot snap = SnapshotSession(session);
+  snap.retry_pairs.push_back(snap.paid_pairs.front());
+  // The counter was not bumped alongside the log.
+  AuditReport report;
+  InvariantAuditor().AuditSessionSnapshot(snap, &report);
+  EXPECT_TRUE(HasViolation(report, "session.retry_log"))
+      << report.ToString();
+}
+
+TEST_F(SessionAuditTest, ReportsUnresolvedCounterMismatch) {
+  CrowdSession session(&oracle_);
+  session.Ask(0, 0, 1);
+  session.EndRound();
+  SessionSnapshot snap = SnapshotSession(session);
+  snap.unresolved_pairs.push_back(snap.paid_pairs.front());
+  // stats.unresolved_questions still says zero.
+  AuditReport report;
+  InvariantAuditor().AuditSessionSnapshot(snap, &report);
+  EXPECT_TRUE(HasViolation(report, "session.unresolved_log"))
+      << report.ToString();
+}
+
+TEST_F(SessionAuditTest, ReportsUnresolvedPairThatWasNeverPaid) {
+  CrowdSession session(&oracle_);
+  session.Ask(0, 0, 1);
+  session.EndRound();
+  SessionSnapshot snap = SnapshotSession(session);
+  snap.unresolved_pairs.push_back(PairQuestion{0, 4, 5});
+  snap.unresolved += 1;
+  AuditReport report;
+  InvariantAuditor().AuditSessionSnapshot(snap, &report);
+  EXPECT_TRUE(HasViolation(report, "session.unresolved_unpaid"))
+      << report.ToString();
+}
+
 TEST_F(SessionAuditTest, ReportsPaidLogCounterMismatch) {
   CrowdSession session(&oracle_);
   session.Ask(0, 0, 1);

@@ -1,0 +1,102 @@
+#include "crowd/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace crowdsky {
+namespace {
+
+FaultPlan ModeratePlan() {
+  FaultPlan plan;
+  plan.transient_error_rate = 0.3;
+  plan.hit_expiration_rate = 0.2;
+  plan.worker_no_show_rate = 0.25;
+  plan.straggler_rate = 0.1;
+  return plan;
+}
+
+TEST(FaultPlanTest, DefaultPlanIsDisabled) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(FaultPlanSummary(plan), "faults disabled");
+}
+
+TEST(FaultPlanTest, AnyNonZeroRateEnablesThePlan) {
+  FaultPlan plan;
+  plan.straggler_rate = 0.01;
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_NE(FaultPlanSummary(plan), "faults disabled");
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameFaultTrace) {
+  FaultInjector a(ModeratePlan(), 42);
+  FaultInjector b(ModeratePlan(), 42);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.NextAttemptFault(), b.NextAttemptFault());
+    EXPECT_EQ(a.NextVoteFault(), b.NextVoteFault());
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(ModeratePlan(), 42);
+  FaultInjector b(ModeratePlan(), 43);
+  int disagreements = 0;
+  for (int i = 0; i < 500; ++i) {
+    disagreements += a.NextAttemptFault() != b.NextAttemptFault();
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjectorTest, RatesShapeTheDrawFrequencies) {
+  FaultPlan plan;
+  plan.transient_error_rate = 0.5;
+  plan.worker_no_show_rate = 0.25;
+  FaultInjector injector(plan, 7);
+  int transient = 0, no_show = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    transient += injector.NextAttemptFault() == AttemptFault::kTransientError;
+    no_show += injector.NextVoteFault() == VoteFault::kNoShow;
+  }
+  EXPECT_NEAR(static_cast<double>(transient) / kDraws, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(no_show) / kDraws, 0.25, 0.05);
+}
+
+TEST(FaultInjectorTest, DisabledPlanNeverFaults) {
+  FaultInjector injector(FaultPlan{}, 99);
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.NextAttemptFault(), AttemptFault::kNone);
+    EXPECT_EQ(injector.NextVoteFault(), VoteFault::kOnTime);
+  }
+}
+
+// The determinism contract hinges on Bernoulli(0) consuming no RNG state:
+// a disabled fault class must leave the random stream untouched so a
+// fault-free run is bit-identical to one without fault injection at all.
+TEST(FaultInjectorTest, ZeroRateBernoulliConsumesNoRandomness) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(a.Bernoulli(0.0));
+  }
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(FaultInjectorDeathTest, RejectsOutOfRangeRates) {
+  FaultPlan plan;
+  plan.transient_error_rate = 1.5;
+  EXPECT_DEATH(FaultInjector(plan, 1), "probabilities");
+}
+
+TEST(FaultInjectorDeathTest, RejectsNegativeDelayRounds) {
+  FaultPlan plan;
+  plan.straggler_delay_rounds = -1;
+  EXPECT_DEATH(FaultInjector(plan, 1), "");
+}
+
+}  // namespace
+}  // namespace crowdsky

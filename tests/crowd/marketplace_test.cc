@@ -178,6 +178,52 @@ TEST(MarketplaceTest, WeightedVotesBeatUniformOnHeterogeneousPool) {
   EXPECT_GT(weighted_correct, uniform_correct);
 }
 
+// All three quality knobs at once: spammers in the population, a gold-
+// question qualification gate, and log-odds vote weighting. The pipeline
+// has to compose — qualification filters the spammers, the weights favour
+// the demonstrably good workers, and aggregation still yields a majority
+// answer that tracks the truth.
+TEST(MarketplaceIntegrationTest, AllQualityKnobsComposeEndToEnd) {
+  GeneratorOptions gen;
+  gen.cardinality = 60;
+  gen.num_known = 1;
+  gen.num_crowd = 1;
+  gen.seed = 5;
+  const Dataset ds = GenerateDataset(gen).ValueOrDie();
+  MarketplaceOptions open;
+  open.pool_size = 200;
+  open.population.p_correct = 0.8;
+  open.population.p_stddev = 0.1;
+  open.population.spammer_fraction = 0.3;
+  open.seed = 23;
+  MarketplaceOptions knobs = open;
+  knobs.gold_questions = 50;
+  knobs.qualification_threshold = 0.7;
+  knobs.weighted_votes = true;
+  CrowdMarketplace unfiltered(ds, open, VotingPolicy::MakeStatic(5));
+  CrowdMarketplace filtered(ds, knobs, VotingPolicy::MakeStatic(5));
+
+  // Qualification rejected (at least) the spammers but kept a usable pool.
+  EXPECT_LT(filtered.qualified_count(), filtered.pool_size());
+  EXPECT_GT(filtered.qualified_count(), filtered.pool_size() / 3);
+  EXPECT_GT(filtered.QualifiedPoolReliability(),
+            unfiltered.QualifiedPoolReliability() + 0.05);
+
+  // Weighted aggregation over the qualified pool still returns a majority
+  // answer, and a mostly-correct one.
+  PerfectOracle reference(ds);
+  int correct = 0, total = 0;
+  for (int u = 0; u < ds.size(); ++u) {
+    for (int v = u + 1; v < ds.size(); v += 6) {
+      const Answer truth = reference.AnswerPair({0, u, v}, {});
+      correct += filtered.AnswerPair({0, u, v}, {}) == truth;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
 TEST(MarketplaceIntegrationTest, QualifiedPoolBeatsOpenPool) {
   GeneratorOptions gen;
   gen.cardinality = 200;

@@ -1,0 +1,219 @@
+// The resilient asking layer of CrowdSession: retry/requeue of failed
+// attempts, capped retries, degraded quorums, and the accounting ledger
+// (every attempt paid, every repeat justified by a retry event).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "crowd/oracle.h"
+#include "crowd/session.h"
+
+namespace crowdsky {
+namespace {
+
+PairOutcome Ok(Answer answer) {
+  PairOutcome out;
+  out.answer = answer;
+  return out;
+}
+
+PairOutcome Degraded(Answer answer) {
+  PairOutcome out;
+  out.status = PairOutcome::Status::kDegradedQuorum;
+  out.answer = answer;
+  out.votes_expected = 5;
+  out.votes_counted = 3;
+  return out;
+}
+
+PairOutcome TransientFailure() {
+  PairOutcome out;
+  out.status = PairOutcome::Status::kFailed;
+  out.transient_error = true;
+  return out;
+}
+
+PairOutcome ExpiredHit(int rounds) {
+  PairOutcome out;
+  out.status = PairOutcome::Status::kFailed;
+  out.hit_expired = true;
+  out.extra_latency_rounds = rounds;
+  return out;
+}
+
+/// Oracle whose attempt outcomes follow a fixed script (the last entry
+/// repeats forever), so tests control exactly which attempts fail.
+class ScriptedOracle : public CrowdOracle {
+ public:
+  explicit ScriptedOracle(std::vector<PairOutcome> script)
+      : script_(std::move(script)) {}
+
+  Answer AnswerPair(const PairQuestion&, const AskContext&) override {
+    return Answer::kFirstPreferred;
+  }
+  double AnswerUnary(int, int, const AskContext&) override { return 0.0; }
+
+  PairOutcome AnswerPairOutcome(const PairQuestion&,
+                                const AskContext&) override {
+    ++stats_.pair_questions;
+    const size_t idx = next_ < script_.size() ? next_ : script_.size() - 1;
+    ++next_;
+    const PairOutcome& out = script_[idx];
+    if (out.status == PairOutcome::Status::kFailed) ++stats_.failed_attempts;
+    return out;
+  }
+
+ private:
+  std::vector<PairOutcome> script_;
+  size_t next_ = 0;
+};
+
+TEST(ResilienceTest, RetryRecoversFromTransientFailure) {
+  ScriptedOracle oracle({TransientFailure(), Ok(Answer::kFirstPreferred)});
+  CrowdSession session(&oracle);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kAnswered);
+  EXPECT_EQ(res.answer, Answer::kFirstPreferred);
+  EXPECT_TRUE(res.paid);
+  EXPECT_EQ(session.stats().questions, 2);  // the retry is a paid question
+  EXPECT_EQ(session.stats().retries, 1);
+  EXPECT_EQ(session.stats().failed_attempts, 1);
+  EXPECT_EQ(session.stats().unresolved_questions, 0);
+  ASSERT_EQ(session.retry_events().size(), 1u);
+  const RetryEvent& event = session.retry_events().front();
+  EXPECT_EQ(event.attempt, 1);
+  EXPECT_EQ(event.reason, RetryEvent::Reason::kTransientError);
+  EXPECT_EQ(event.question, (PairQuestion{0, 0, 1}));
+  // The recovered answer is cached; re-asking is free.
+  const CrowdSession::AskResult again = session.TryAsk(0, 0, 1);
+  EXPECT_FALSE(again.paid);
+  EXPECT_EQ(session.stats().questions, 2);
+  EXPECT_EQ(session.stats().cache_hits, 1);
+}
+
+TEST(ResilienceTest, AnswerOrientationSurvivesRetries) {
+  ScriptedOracle oracle({TransientFailure(), Ok(Answer::kFirstPreferred)});
+  CrowdSession session(&oracle);
+  // Asking the flipped pair (1, 0): canonical first-preferred means tuple
+  // 0, so the caller-oriented answer is second-preferred.
+  const CrowdSession::AskResult res = session.TryAsk(0, 1, 0);
+  EXPECT_EQ(res.status, AskStatus::kAnswered);
+  EXPECT_EQ(res.answer, Answer::kSecondPreferred);
+}
+
+TEST(ResilienceTest, RetryCapExhaustionMarksQuestionUnresolved) {
+  ScriptedOracle oracle({TransientFailure()});
+  CrowdSession session(&oracle);
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  session.SetRetryPolicy(policy);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kUnresolved);
+  EXPECT_TRUE(res.paid);
+  EXPECT_EQ(session.stats().questions, 3);  // initial + 2 retries
+  EXPECT_EQ(session.stats().retries, 2);
+  EXPECT_EQ(session.stats().failed_attempts, 3);
+  EXPECT_EQ(session.stats().unresolved_questions, 1);
+  EXPECT_TRUE(session.IsUnresolved(0, 0, 1));
+  EXPECT_TRUE(session.IsUnresolved(0, 1, 0));
+  EXPECT_FALSE(session.IsCached(0, 0, 1));
+  // Asking again never spends more money on a given-up question.
+  const CrowdSession::AskResult again = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(again.status, AskStatus::kUnresolved);
+  EXPECT_FALSE(again.paid);
+  EXPECT_EQ(session.stats().questions, 3);
+  ASSERT_EQ(session.unresolved_questions().size(), 1u);
+  EXPECT_EQ(session.unresolved_questions().front(), (PairQuestion{0, 0, 1}));
+}
+
+TEST(ResilienceDeathTest, StrictAskAbortsOnUnresolvedQuestion) {
+  ScriptedOracle oracle({TransientFailure()});
+  CrowdSession session(&oracle);
+  RetryPolicy policy;
+  policy.max_retries = 0;
+  session.SetRetryPolicy(policy);
+  EXPECT_DEATH(session.Ask(0, 0, 1), "unresolved");
+}
+
+TEST(ResilienceTest, DegradedQuorumIsAcceptedAndCounted) {
+  ScriptedOracle oracle({Degraded(Answer::kSecondPreferred)});
+  CrowdSession session(&oracle);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kAnswered);
+  EXPECT_EQ(res.answer, Answer::kSecondPreferred);
+  EXPECT_EQ(session.stats().degraded_quorum, 1);
+  EXPECT_EQ(session.stats().retries, 0);
+}
+
+TEST(ResilienceTest, BudgetCapsTheRetryLoop) {
+  ScriptedOracle oracle({TransientFailure()});
+  CrowdSession session(&oracle);
+  session.SetQuestionBudget(2);
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  session.SetRetryPolicy(policy);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kUnresolved);
+  EXPECT_EQ(session.stats().questions, 2);  // never exceeds the budget
+  EXPECT_EQ(session.stats().retries, 1);
+  EXPECT_FALSE(session.CanAsk());
+}
+
+TEST(ResilienceTest, BackoffAndExpirationAreLatencyOnly) {
+  ScriptedOracle oracle({ExpiredHit(2), TransientFailure(),
+                         TransientFailure(), TransientFailure(),
+                         Ok(Answer::kEqual)});
+  CrowdSession session(&oracle);
+  RetryPolicy policy;
+  policy.max_retries = 4;
+  policy.backoff_base_rounds = 1;
+  policy.max_backoff_rounds = 8;
+  session.SetRetryPolicy(policy);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kAnswered);
+  EXPECT_EQ(session.stats().questions, 5);
+  EXPECT_EQ(session.stats().retries, 4);
+  // 2 rounds waiting out the expired HIT plus the exponential requeue
+  // backoff 1 + 2 + 4 + 8 (capped).
+  EXPECT_EQ(session.stats().backoff_rounds, 2 + 1 + 2 + 4 + 8);
+  // Money is untouched by backoff: no rounds were closed, and the open
+  // round holds exactly the paid attempts.
+  EXPECT_EQ(session.stats().rounds, 0);
+  EXPECT_EQ(session.open_round_questions(), 5);
+  ASSERT_EQ(session.retry_events().size(), 4u);
+  EXPECT_EQ(session.retry_events()[0].reason,
+            RetryEvent::Reason::kHitExpired);
+  EXPECT_EQ(session.retry_events()[1].reason,
+            RetryEvent::Reason::kTransientError);
+}
+
+TEST(ResilienceTest, AuditorAcceptsARetriedSession) {
+  ScriptedOracle oracle({TransientFailure(), Ok(Answer::kFirstPreferred),
+                         Degraded(Answer::kEqual), TransientFailure(),
+                         TransientFailure(), TransientFailure(),
+                         TransientFailure()});
+  CrowdSession session(&oracle);
+  session.TryAsk(0, 0, 1);  // fails once, then answers
+  session.TryAsk(0, 2, 3);  // degraded quorum
+  session.TryAsk(0, 4, 5);  // exhausts the default 3-retry cap
+  session.EndRound();
+  EXPECT_EQ(session.stats().questions, 7);
+  EXPECT_EQ(session.stats().retries, 4);
+  EXPECT_EQ(session.stats().unresolved_questions, 1);
+  audit::AuditReport report;
+  audit::InvariantAuditor().AuditSession(session, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ResilienceDeathTest, NegativeRetryPolicyIsRejected) {
+  ScriptedOracle oracle({Ok(Answer::kEqual)});
+  CrowdSession session(&oracle);
+  RetryPolicy policy;
+  policy.max_retries = -1;
+  EXPECT_DEATH(session.SetRetryPolicy(policy), "");
+}
+
+}  // namespace
+}  // namespace crowdsky
