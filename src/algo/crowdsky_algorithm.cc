@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "persist/journal.h"
+
 namespace crowdsky {
 namespace internal {
 
@@ -140,6 +142,20 @@ void AuditFinalState(const Dataset& dataset,
   auditor.AuditSession(session, report);
   auditor.AuditCostModel(AmtCostModel{}, session.questions_per_round(),
                          report);
+  if (persist::JournalWriter* journal = session.journal();
+      journal != nullptr) {
+    // Durability rules are audited against the bytes actually on disk:
+    // sync, re-read, and require the journal to reproduce every session
+    // ledger (and, on a resume, that every credit was consumed).
+    journal->Sync().CheckOK();
+    Result<persist::RecoveredJournal> recovered =
+        persist::ReadJournal(journal->path());
+    CROWDSKY_CHECK_MSG(recovered.ok(),
+                       "audit could not re-read the answer journal");
+    report->Check(!recovered->torn_tail, "journal.torn",
+                  "journal has a torn tail while its writer is alive");
+    auditor.AuditJournal(recovered->records, session, report);
+  }
   auditor.AuditDominanceStructure(structure,
                                   PreferenceMatrix::FromKnown(dataset),
                                   report);
@@ -175,6 +191,44 @@ void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
   c.retries_exhausted = s.unresolved_questions > 0;
 }
 
+void ApplyResumeState(const DriverResumeState* resume, int num_tuples,
+                      CrowdKnowledge* knowledge, CompletionState* completion,
+                      AlgoResult* result, int64_t* free_lookups) {
+  if (resume == nullptr) return;
+  if (resume->fold != nullptr) {
+    for (const persist::JournalRecord& record : *resume->fold) {
+      if (record.kind != persist::JournalRecord::Kind::kPairAsk ||
+          !record.resolved) {
+        continue;
+      }
+      // Same Record order as the original run; under kFirstWins a noisy
+      // contradiction is rejected now exactly as it was then.
+      knowledge
+          ->Record(record.question.attr, record.question.first,
+                   record.question.second, record.answer)
+          .CheckOK();
+    }
+  }
+  if (resume->checkpoint == nullptr) return;
+  const persist::CheckpointData& ckpt = *resume->checkpoint;
+  CROWDSKY_CHECK_MSG(ckpt.num_tuples == num_tuples,
+                     "checkpoint was taken over a different dataset size");
+  for (int t = 0; t < num_tuples; ++t) {
+    if (!ckpt.complete[static_cast<size_t>(t)]) continue;
+    if (ckpt.nonskyline[static_cast<size_t>(t)]) {
+      completion->MarkNonSkyline(t);
+    } else {
+      completion->MarkSkyline(t);
+    }
+  }
+  result->skyline.assign(ckpt.skyline.begin(), ckpt.skyline.end());
+  for (const int32_t t : ckpt.undetermined) {
+    result->completeness.undetermined_tuples.push_back(t);
+    ++result->incomplete_tuples;
+  }
+  *free_lookups = ckpt.free_lookups;
+}
+
 }  // namespace internal
 
 AlgoResult RunCrowdSky(const Dataset& dataset,
@@ -191,19 +245,23 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
   if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
+  int64_t free_lookups = 0;
+  // On resume this rebuilds the preference tree from the folded journal
+  // prefix before any phase re-executes, so the tie pre-pass and the
+  // evaluators find every previously-paid answer already known.
+  internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
+                             &result, &free_lookups);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/false);
   if (monitor) monitor->Observe(completion, &audit_report);
 
-  int64_t free_lookups = 0;
-
   // SKY_AK(R) members are complete from the start; those eliminated by the
-  // tie pre-pass are complete non-skyline tuples instead.
+  // tie pre-pass are complete non-skyline tuples instead. A tuple already
+  // complete (restored from a checkpoint) keeps its recovered fate.
   for (const int t : structure.known_skyline()) {
-    if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
-      completion.MarkSkyline(t);
-      result.skyline.push_back(t);
-    }
+    if (completion.complete.Test(static_cast<size_t>(t))) continue;
+    completion.MarkSkyline(t);
+    result.skyline.push_back(t);
   }
   if (monitor) monitor->Observe(completion, &audit_report);
 
@@ -227,6 +285,13 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
       completion.MarkNonSkyline(t);
     }
     if (monitor) monitor->Observe(completion, &audit_report);
+    // Per-tuple quiescent point: the evaluator is finalized and every paid
+    // step closed its round.
+    if (options.checkpoint_hook != nullptr) {
+      options.checkpoint_hook->MaybeCheckpoint(
+          completion, result.skyline,
+          result.completeness.undetermined_tuples, free_lookups, {});
+    }
   }
 
   std::sort(result.skyline.begin(), result.skyline.end());

@@ -71,21 +71,22 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
   if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
+  int64_t free_lookups = 0;
+  internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
+                             &result, &free_lookups);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/true);
   if (monitor) monitor->Observe(completion, &audit_report);
   for (const int t : structure.known_skyline()) {
-    if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
-      completion.MarkSkyline(t);
-      result.skyline.push_back(t);
-    }
+    if (completion.complete.Test(static_cast<size_t>(t))) continue;
+    completion.MarkSkyline(t);
+    result.skyline.push_back(t);
   }
   if (monitor) monitor->Observe(completion, &audit_report);
 
   // Partition by |DS(t)| (evaluation_order is already sorted by it), then
   // greedily split each partition into sub-batches with pairwise-disjoint
   // dominating sets.
-  int64_t free_lookups = 0;
   const std::vector<int>& order = structure.evaluation_order();
   size_t i = 0;
   while (i < order.size()) {
@@ -141,6 +142,16 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
       free_lookups += RunBatchLockstep(batch, structure, &knowledge, session,
                                        &completion, options, &result);
       if (monitor) monitor->Observe(completion, &audit_report);
+    }
+    // Partition boundary: the only quiescent point safe to checkpoint.
+    // Sub-batch boundaries are not — the effective-DS batching above is
+    // computed from the knowledge at partition *entry*, and a resume that
+    // recomputed it mid-partition with later knowledge would batch (and
+    // round-account) differently than the uninterrupted run.
+    if (options.checkpoint_hook != nullptr) {
+      options.checkpoint_hook->MaybeCheckpoint(
+          completion, result.skyline,
+          result.completeness.undetermined_tuples, free_lookups, {});
     }
   }
 

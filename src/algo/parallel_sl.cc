@@ -23,15 +23,17 @@ AlgoResult RunParallelSL(const Dataset& dataset,
   if (options.audit) monitor.emplace(n);
   result.seeded_relations =
       internal::SeedKnownCrowdValues(dataset, options, &knowledge);
+  int64_t free_lookups = 0;
+  internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
+                             &result, &free_lookups);
   internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
                              /*parallel_rounds=*/true);
   if (monitor) monitor->Observe(completion, &audit_report);
   // C is initialized with SL1 = SKY_AK(R) (line 4).
   for (const int t : structure.known_skyline()) {
-    if (!completion.nonskyline.Test(static_cast<size_t>(t))) {
-      completion.MarkSkyline(t);
-      result.skyline.push_back(t);
-    }
+    if (completion.complete.Test(static_cast<size_t>(t))) continue;
+    completion.MarkSkyline(t);
+    result.skyline.push_back(t);
   }
   if (monitor) monitor->Observe(completion, &audit_report);
 
@@ -52,9 +54,23 @@ AlgoResult RunParallelSL(const Dataset& dataset,
     waiting[static_cast<size_t>(t)] = w;
     if (w == 0) ready.push_back(t);
   }
+  if (options.resume != nullptr && options.resume->checkpoint != nullptr) {
+    // The checkpointed pending list is the ready queue at the snapshot, in
+    // activation order (which derives from completion order, not tuple
+    // ids, so it cannot be re-derived here). Adopt it after checking it is
+    // the same *set* the restored completion state implies.
+    const std::vector<int32_t>& pending = options.resume->checkpoint->pending;
+    std::vector<int> computed = ready;
+    std::vector<int> stored(pending.begin(), pending.end());
+    std::sort(computed.begin(), computed.end());
+    std::sort(stored.begin(), stored.end());
+    CROWDSKY_CHECK_MSG(computed == stored,
+                       "checkpoint pending list disagrees with the "
+                       "restored completion state");
+    ready.assign(pending.begin(), pending.end());
+  }
 
   std::vector<std::unique_ptr<TupleEvaluator>> active;
-  int64_t free_lookups = 0;
   auto activate = [&](const std::vector<int>& tuples) {
     for (const int t : tuples) {
       active.push_back(std::make_unique<TupleEvaluator>(
@@ -99,6 +115,15 @@ AlgoResult RunParallelSL(const Dataset& dataset,
     active.resize(keep);
     if (any_paid) session->EndRound();
     if (monitor) monitor->Observe(completion, &audit_report);
+    // Quiescent only when the active wave fully drained: no evaluator is
+    // mid-flight and the round is closed. `ready` is exactly the pending
+    // work the checkpoint must carry (its order derives from completion
+    // order and is not re-derivable on resume).
+    if (active.empty() && options.checkpoint_hook != nullptr) {
+      options.checkpoint_hook->MaybeCheckpoint(
+          completion, result.skyline,
+          result.completeness.undetermined_tuples, free_lookups, ready);
+    }
     // Tuples whose last direct dominator completed this round join the
     // next round.
     if (!ready.empty()) {

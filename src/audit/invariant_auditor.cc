@@ -448,6 +448,143 @@ void InvariantAuditor::AuditSession(const CrowdSession& session,
   }
 }
 
+void InvariantAuditor::AuditJournalSnapshot(
+    const std::vector<persist::JournalRecord>& records,
+    const SessionSnapshot& snapshot, AuditReport* report) const {
+  using persist::AttemptOutcome;
+  using persist::JournalRecord;
+
+  // Re-derive every session ledger from the journal alone, then compare.
+  std::vector<PairQuestion> journal_paid;
+  std::vector<PairQuestion> journal_unresolved;
+  std::vector<int64_t> journal_rounds;
+  std::unordered_map<PairQuestion, int64_t, PairQuestionHash> record_count;
+  int64_t journal_retries = 0;
+  int64_t journal_unary = 0;
+  int64_t open = 0;
+  uint64_t prev_attempt_draws = 0;
+  uint64_t prev_vote_draws = 0;
+  size_t index = 0;
+  for (const JournalRecord& r : records) {
+    const std::string tag = "record " + std::to_string(index);
+    ++index;
+    report->Check(r.fault_attempt_draws >= prev_attempt_draws &&
+                      r.fault_vote_draws >= prev_vote_draws,
+                  "journal.fault_cursor",
+                  tag + ": fault-trace cursor moved backwards");
+    prev_attempt_draws = r.fault_attempt_draws;
+    prev_vote_draws = r.fault_vote_draws;
+    switch (r.kind) {
+      case JournalRecord::Kind::kPairAsk: {
+        ++record_count[r.question];
+        if (!report->Check(!r.attempts.empty(), "journal.record_shape",
+                           tag + ": pair record holds no attempts")) {
+          break;
+        }
+        for (size_t a = 0; a + 1 < r.attempts.size(); ++a) {
+          report->Check(
+              r.attempts[a].status == AttemptOutcome::kFailed,
+              "journal.record_shape",
+              tag + ": attempt " + std::to_string(a) +
+                  " did not fail, yet a later attempt was paid for");
+        }
+        const bool last_failed =
+            r.attempts.back().status == AttemptOutcome::kFailed;
+        report->Check(
+            last_failed != r.resolved, "journal.record_shape",
+            tag + (r.resolved
+                       ? ": resolved record ends in a failed attempt"
+                       : ": given-up record ends in a successful attempt"));
+        journal_paid.insert(journal_paid.end(), r.attempts.size(),
+                            r.question);
+        journal_retries += static_cast<int64_t>(r.attempts.size()) - 1;
+        open += static_cast<int64_t>(r.attempts.size());
+        if (!r.resolved) journal_unresolved.push_back(r.question);
+        break;
+      }
+      case JournalRecord::Kind::kUnary:
+        ++journal_unary;
+        ++open;
+        break;
+      case JournalRecord::Kind::kRoundEnd:
+        report->Check(r.round_questions == open, "journal.round_partition",
+                      tag + ": round-end record claims " +
+                          std::to_string(r.round_questions) +
+                          " questions, but " + std::to_string(open) +
+                          " were journaled since the previous round end");
+        journal_rounds.push_back(r.round_questions);
+        open = 0;
+        break;
+    }
+  }
+
+  // Exactly one durable record per paid question — a re-paid question
+  // would surface here as a second record for the same canonical pair.
+  for (const auto& [q, count] : record_count) {
+    report->Check(count == 1, "journal.one_record",
+                  "pair attr=" + std::to_string(q.attr) + " " +
+                      Pair(q.first, q.second) + " has " +
+                      std::to_string(count) + " durable records");
+  }
+  report->Check(
+      journal_paid == snapshot.paid_pairs, "journal.paid_log",
+      "journal-derived paid sequence (" +
+          std::to_string(journal_paid.size()) +
+          " attempts) differs from the session's paid log (" +
+          std::to_string(snapshot.paid_pairs.size()) + " attempts)");
+  report->Check(journal_retries == snapshot.retries, "journal.retries",
+                "journal implies " + std::to_string(journal_retries) +
+                    " retries, session counted " +
+                    std::to_string(snapshot.retries));
+  report->Check(journal_unary == snapshot.unary_questions, "journal.unary",
+                "journal holds " + std::to_string(journal_unary) +
+                    " unary records, session counted " +
+                    std::to_string(snapshot.unary_questions));
+  // unresolved_questions() reports in canonical sort order; match it.
+  std::sort(journal_unresolved.begin(), journal_unresolved.end(),
+            [](const PairQuestion& a, const PairQuestion& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  report->Check(
+      journal_unresolved == snapshot.unresolved_pairs, "journal.unresolved",
+      "journal's given-up records (" +
+          std::to_string(journal_unresolved.size()) +
+          ") differ from the session's unresolved set (" +
+          std::to_string(snapshot.unresolved_pairs.size()) + ")");
+  // Per-round equality makes the journal-replayed AMT cost equal the
+  // session-derived cost under every cost model, the paper's included.
+  report->Check(journal_rounds == snapshot.questions_per_round,
+                "journal.rounds",
+                "journal-derived per-round counts (" +
+                    std::to_string(journal_rounds.size()) +
+                    " rounds) differ from the session's history (" +
+                    std::to_string(snapshot.questions_per_round.size()) +
+                    " rounds)");
+  report->Check(open == snapshot.open_round_questions, "journal.open_round",
+                "journal tail holds " + std::to_string(open) +
+                    " questions past the last round end, session reports " +
+                    std::to_string(snapshot.open_round_questions) +
+                    " open");
+}
+
+void InvariantAuditor::AuditJournal(
+    const std::vector<persist::JournalRecord>& records,
+    const CrowdSession& session, AuditReport* report) const {
+  AuditJournalSnapshot(records, SnapshotSession(session), report);
+  report->Check(
+      session.journal_position() == static_cast<int64_t>(records.size()),
+      "journal.position",
+      "session durable position " +
+          std::to_string(session.journal_position()) +
+          " != journal record count " + std::to_string(records.size()));
+  report->Check(session.credits_remaining() == 0, "journal.credits",
+                "resumed session left " +
+                    std::to_string(session.credits_remaining()) +
+                    " journal credits unconsumed");
+}
+
 void InvariantAuditor::AuditCostModel(
     const AmtCostModel& model,
     const std::vector<int64_t>& questions_per_round,

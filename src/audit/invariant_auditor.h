@@ -28,6 +28,7 @@
 #include "crowd/cost_model.h"
 #include "crowd/question.h"
 #include "crowd/session.h"
+#include "persist/journal.h"
 #include "prefgraph/preference_graph.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_structure.h"
@@ -140,6 +141,29 @@ class InvariantAuditor {
   /// Snapshot + accounting checks for a live session, plus "every paid
   /// pair is cached or unresolved (never both)".
   void AuditSession(const CrowdSession& session, AuditReport* report) const;
+
+  /// Durability ledger on a (possibly fabricated) journal against a
+  /// session snapshot: the pair records, flattened attempt-by-attempt in
+  /// journal order, are exactly the session's paid log (every paid
+  /// question has exactly one durable record and nothing was paid
+  /// undurably); record shapes are legal (non-final attempts failed, the
+  /// final attempt failed iff the record gave up); retry / unresolved /
+  /// unary arithmetic recomputed from the records matches the counters;
+  /// round-end records partition the stream into exactly the session's
+  /// per-round counts with the open-round tail (which makes the
+  /// journal-derived AMT cost equal the session-derived cost under any
+  /// cost model); and the fault-trace cursor never moves backwards.
+  void AuditJournalSnapshot(
+      const std::vector<persist::JournalRecord>& records,
+      const SessionSnapshot& snapshot, AuditReport* report) const;
+
+  /// Snapshot + journal checks for a live session, plus the resume
+  /// ledger: the session's durable position (folded + replayed + freshly
+  /// appended records) equals the journal's record count, and a resumed
+  /// session consumed every queued credit — a resumed run that asked
+  /// fewer questions than the original would leave credits behind.
+  void AuditJournal(const std::vector<persist::JournalRecord>& records,
+                    const CrowdSession& session, AuditReport* report) const;
 
   /// Recomputes HITs and cost from `questions_per_round` with the paper's
   /// formula and checks `model` agrees with itself and the formula.

@@ -1,9 +1,12 @@
 #include "common/thread_pool.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <utility>
+
+#include "common/macros.h"
 
 namespace crowdsky {
 namespace {
@@ -184,8 +187,17 @@ ThreadPool& ThreadPool::Global() {
 
 int ThreadPool::DefaultThreads() {
   if (const char* env = std::getenv("CROWDSKY_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
+    // Strict parse: a typo'd override ("fast", "1.5", "0") silently
+    // falling back to hardware_concurrency would be worse than failing —
+    // the user believes they pinned the thread count (e.g. for the
+    // bit-identical threads=1 path) and they did not.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    CROWDSKY_CHECK_MSG(end != env && *end == '\0' && errno == 0 &&
+                           v >= 1 && v <= 4096,
+                       "CROWDSKY_THREADS must be an integer in [1, 4096]");
+    return static_cast<int>(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -12,8 +12,9 @@
 //    fn(begin, end) on the caller's thread, so every paper-figure output is
 //    bit-identical to the historical serial code at threads=1,
 //  * CROWDSKY_THREADS env override — the global pool sizes itself from
-//    CROWDSKY_THREADS if set (clamped to >= 1), else
-//    std::thread::hardware_concurrency(),
+//    CROWDSKY_THREADS if set (must parse as an integer in [1, 4096];
+//    anything else aborts with a clear message rather than silently
+//    falling back), else std::thread::hardware_concurrency(),
 //  * exception propagation — the first exception thrown by any chunk is
 //    captured and rethrown on the calling thread once the loop drains,
 //  * nested-call safety — a ParallelFor issued from inside a pool task runs
@@ -73,7 +74,9 @@ class ThreadPool {
   static ThreadPool& Global();
 
   /// Thread count the global pool uses when not overridden:
-  /// CROWDSKY_THREADS if set and >= 1, else hardware_concurrency().
+  /// CROWDSKY_THREADS if set, else hardware_concurrency(). A set but
+  /// invalid CROWDSKY_THREADS (non-numeric, zero, negative, or absurd)
+  /// aborts instead of silently picking a different count.
   static int DefaultThreads();
 
   /// Recreates the global pool with `num_threads` threads (0 restores

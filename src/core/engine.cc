@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
+#include <cstring>
+#include <filesystem>
 #include <memory>
+#include <utility>
 
 #include "algo/baseline_sort.h"
 #include "algo/crowdsky_algorithm.h"
@@ -11,9 +14,87 @@
 #include "crowd/oracle.h"
 #include "crowd/session.h"
 #include "crowd/voting.h"
+#include "persist/checkpoint.h"
+#include "persist/recovery.h"
 #include "skyline/dominance_structure.h"
 
 namespace crowdsky {
+namespace {
+
+/// Order-sensitive SplitMix64 chain for the run-configuration fingerprint.
+struct Fingerprinter {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+
+  void Add(uint64_t v) {
+    uint64_t state = hash ^ v;
+    hash = SplitMix64(&state);
+  }
+  void AddI(int64_t v) { Add(static_cast<uint64_t>(v)); }
+  void AddF(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    Add(bits);
+  }
+  void AddB(bool v) { Add(v ? 1 : 0); }
+};
+
+/// The engine-side DriverCheckpointHook: at each quiescent driver point,
+/// write a checkpoint if enough rounds closed since the last one. The
+/// journal is synced first so the checkpoint never references records
+/// that are not durable yet.
+class EngineCheckpointer : public DriverCheckpointHook {
+ public:
+  EngineCheckpointer(std::string path, uint64_t fingerprint, int num_tuples,
+                     int every_rounds, CrowdSession* session)
+      : path_(std::move(path)),
+        fingerprint_(fingerprint),
+        num_tuples_(num_tuples),
+        every_rounds_(every_rounds),
+        session_(session) {}
+
+  void MaybeCheckpoint(const CompletionState& completion,
+                       const std::vector<int>& skyline,
+                       const std::vector<int>& undetermined,
+                       int64_t free_lookups,
+                       const std::vector<int>& pending) override {
+    CROWDSKY_CHECK_MSG(session_->open_round_questions() == 0,
+                       "drivers must only offer checkpoints at quiescent "
+                       "points (no open crowd round)");
+    const int64_t rounds = session_->stats().rounds;
+    if (rounds - last_checkpoint_rounds_ < every_rounds_) return;
+    persist::JournalWriter* journal = session_->journal();
+    CROWDSKY_CHECK(journal != nullptr);
+    journal->Sync().CheckOK();
+    persist::CheckpointData data;
+    data.fingerprint = fingerprint_;
+    data.journal_records = session_->journal_position();
+    data.num_tuples = num_tuples_;
+    data.complete.resize(static_cast<size_t>(num_tuples_));
+    data.nonskyline.resize(static_cast<size_t>(num_tuples_));
+    for (int t = 0; t < num_tuples_; ++t) {
+      const size_t i = static_cast<size_t>(t);
+      data.complete[i] = completion.complete.Test(i) ? 1 : 0;
+      data.nonskyline[i] = completion.nonskyline.Test(i) ? 1 : 0;
+    }
+    data.skyline.assign(skyline.begin(), skyline.end());
+    data.undetermined.assign(undetermined.begin(), undetermined.end());
+    data.pending.assign(pending.begin(), pending.end());
+    data.free_lookups = free_lookups;
+    data.cache_hits = session_->stats().cache_hits;
+    persist::WriteCheckpoint(path_, data).CheckOK();
+    last_checkpoint_rounds_ = rounds;
+  }
+
+ private:
+  std::string path_;
+  uint64_t fingerprint_;
+  int num_tuples_;
+  int64_t every_rounds_;
+  CrowdSession* session_;
+  int64_t last_checkpoint_rounds_ = 0;
+};
+
+}  // namespace
 
 const char* AlgorithmName(Algorithm a) {
   switch (a) {
@@ -31,6 +112,63 @@ const char* AlgorithmName(Algorithm a) {
       return "Unary";
   }
   return "?";
+}
+
+uint64_t RunFingerprint(const Dataset& dataset,
+                        const EngineOptions& options) {
+  Fingerprinter fp;
+  // Dataset: shape and every value (crowd values are the hidden ground
+  // truth the oracle answers from, so they are part of the run identity).
+  fp.AddI(dataset.size());
+  fp.AddI(dataset.schema().num_known());
+  fp.AddI(dataset.schema().num_crowd());
+  for (const Tuple& t : dataset.tuples()) {
+    for (const double v : t.values) fp.AddF(v);
+  }
+  // Everything that shapes the question/answer stream. The audit flag and
+  // the durability options are deliberately left out (see header).
+  fp.AddI(static_cast<int>(options.algorithm));
+  fp.AddI(static_cast<int>(options.oracle));
+  fp.AddF(options.worker.p_correct);
+  fp.AddF(options.worker.p_stddev);
+  fp.AddF(options.worker.spammer_fraction);
+  fp.AddF(options.worker.unary_sigma);
+  fp.AddI(options.workers_per_question);
+  fp.AddB(options.dynamic_voting);
+  fp.Add(options.seed);
+  fp.AddI(options.max_questions);
+  fp.AddI(options.marketplace.pool_size);
+  fp.AddF(options.marketplace.population.p_correct);
+  fp.AddF(options.marketplace.population.p_stddev);
+  fp.AddF(options.marketplace.population.spammer_fraction);
+  fp.AddF(options.marketplace.population.unary_sigma);
+  fp.AddI(options.marketplace.gold_questions);
+  fp.AddF(options.marketplace.qualification_threshold);
+  fp.AddB(options.marketplace.weighted_votes);
+  fp.AddF(options.marketplace.faults.transient_error_rate);
+  fp.AddF(options.marketplace.faults.hit_expiration_rate);
+  fp.AddI(options.marketplace.faults.hit_expiration_rounds);
+  fp.AddF(options.marketplace.faults.worker_no_show_rate);
+  fp.AddF(options.marketplace.faults.straggler_rate);
+  fp.AddI(options.marketplace.faults.straggler_delay_rounds);
+  fp.Add(options.marketplace.seed);
+  fp.AddI(options.retry.max_retries);
+  fp.AddI(options.retry.backoff_base_rounds);
+  fp.AddI(options.retry.max_backoff_rounds);
+  fp.AddB(options.crowdsky.pruning.use_p1);
+  fp.AddB(options.crowdsky.pruning.use_p2);
+  fp.AddB(options.crowdsky.pruning.use_p3);
+  fp.AddB(options.crowdsky.pruning.use_completion_break);
+  fp.AddB(options.crowdsky.pruning.use_transitivity);
+  fp.AddI(static_cast<int>(options.crowdsky.contradiction_policy));
+  fp.AddI(static_cast<int>(options.crowdsky.multi_attr));
+  if (options.crowdsky.known_crowd_values != nullptr) {
+    for (const DynamicBitset& mask : *options.crowdsky.known_crowd_values) {
+      fp.AddI(static_cast<int64_t>(mask.size()));
+      for (size_t i = 0; i < mask.size(); ++i) fp.AddB(mask.Test(i));
+    }
+  }
+  return fp.hash;
 }
 
 Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
@@ -64,6 +202,10 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         "question budgets are only supported by the CrowdSky-family "
         "algorithms (the sort baselines and the unary method need their "
         "full question sets)");
+  }
+  if (options.durability.resume && options.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "durability.resume requires durability.dir");
   }
   if (options.marketplace.faults.enabled()) {
     if (options.oracle != OracleKind::kMarketplace) {
@@ -107,6 +249,54 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
   session.SetRetryPolicy(options.retry);
 
   EngineResult result;
+  CrowdSkyOptions crowdsky = options.crowdsky;
+  std::unique_ptr<persist::JournalWriter> journal;
+  persist::ResumeOutcome recovered;
+  DriverResumeState resume_state;
+  std::unique_ptr<EngineCheckpointer> checkpointer;
+  const EngineOptions::DurabilityOptions& durability = options.durability;
+  if (!durability.dir.empty()) {
+    result.durability.enabled = true;
+    std::error_code ec;
+    std::filesystem::create_directories(durability.dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create durability directory '" +
+                             durability.dir + "': " + ec.message());
+    }
+    const uint64_t fingerprint = RunFingerprint(dataset, options);
+    if (durability.resume) {
+      // Replays the journal into the session's answer cache (and restores
+      // the oracle's random streams) before the algorithm runs.
+      CROWDSKY_ASSIGN_OR_RETURN(
+          recovered,
+          persist::PrepareResume(durability.dir, fingerprint,
+                                 durability.sync, oracle.get(), &session));
+      journal = std::move(recovered.writer);
+      result.durability.resumed = true;
+      result.durability.used_checkpoint = recovered.used_checkpoint;
+      result.durability.recovered_torn_tail = recovered.recovered_torn_tail;
+      resume_state.checkpoint =
+          recovered.used_checkpoint ? &recovered.checkpoint : nullptr;
+      resume_state.fold = &recovered.fold;
+      crowdsky.resume = &resume_state;
+    } else {
+      CROWDSKY_ASSIGN_OR_RETURN(
+          journal, persist::JournalWriter::Create(
+                       persist::JournalPath(durability.dir), fingerprint,
+                       durability.sync));
+      session.AttachJournal(journal.get());
+      // A checkpoint left by a previous run in the same directory must
+      // not outlive the journal it described.
+      std::filesystem::remove(persist::CheckpointPath(durability.dir), ec);
+    }
+    if (crowdsky_family && durability.checkpoint_every_rounds > 0) {
+      checkpointer = std::make_unique<EngineCheckpointer>(
+          persist::CheckpointPath(durability.dir), fingerprint,
+          dataset.size(), durability.checkpoint_every_rounds, &session);
+      crowdsky.checkpoint_hook = checkpointer.get();
+    }
+  }
+
   switch (options.algorithm) {
     case Algorithm::kBaselineSort:
       result.algo = RunBaselineSort(dataset, &session);
@@ -115,20 +305,32 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
       result.algo = RunBitonicBaseline(dataset, &session);
       break;
     case Algorithm::kCrowdSkySerial:
-      result.algo =
-          RunCrowdSky(dataset, structure, &session, options.crowdsky);
+      result.algo = RunCrowdSky(dataset, structure, &session, crowdsky);
       break;
     case Algorithm::kParallelDSet:
       result.algo =
-          RunParallelDSet(dataset, structure, &session, options.crowdsky);
+          RunParallelDSet(dataset, structure, &session, crowdsky);
       break;
     case Algorithm::kParallelSL:
-      result.algo =
-          RunParallelSL(dataset, structure, &session, options.crowdsky);
+      result.algo = RunParallelSL(dataset, structure, &session, crowdsky);
       break;
     case Algorithm::kUnary:
       result.algo = RunUnary(dataset, &session);
       break;
+  }
+
+  if (journal != nullptr) {
+    CROWDSKY_CHECK_MSG(
+        session.credits_remaining() == 0,
+        "resumed run finished without consuming every journaled answer — "
+        "the re-execution diverged from the original run");
+    CROWDSKY_RETURN_NOT_OK(journal->Sync());
+    result.durability.replayed_pair_attempts =
+        session.replayed_pair_attempts();
+    result.durability.replayed_unary_questions =
+        session.replayed_unary_questions();
+    result.durability.journal_records = journal->records_total();
+    result.durability.new_records = journal->records_appended();
   }
 
   result.skyline_labels.reserve(result.algo.skyline.size());

@@ -23,6 +23,7 @@
 #include "crowd/marketplace.h"
 #include "crowd/worker_model.h"
 #include "data/dataset.h"
+#include "persist/journal.h"
 
 namespace crowdsky {
 
@@ -78,6 +79,33 @@ struct EngineOptions {
   RetryPolicy retry;
 
   AmtCostModel cost_model;
+
+  /// Crash safety (src/persist): with a journal directory set, every
+  /// resolved crowd answer is written to an append-only, checksummed
+  /// journal before the algorithm acts on it, and driver progress is
+  /// periodically checkpointed. A killed run resumes with `resume = true`:
+  /// already-paid questions replay from the journal (nothing is re-paid),
+  /// completed work is skipped via the checkpoint, and the final result
+  /// is bit-identical to an uninterrupted run.
+  struct DurabilityOptions {
+    /// Directory for journal.bin / checkpoint.bin. Empty = durability off.
+    std::string dir;
+    /// Resume from the journal already in `dir` (fails if none exists or
+    /// it was written by a different configuration); false starts fresh,
+    /// truncating any previous journal in the directory.
+    bool resume = false;
+    /// Per-record durability (flush survives process death — enough for
+    /// the kill-point tests; fsync also survives machine crashes).
+    persist::SyncMode sync = persist::SyncMode::kFlush;
+    /// At a quiescent driver point, write a checkpoint if at least this
+    /// many crowd rounds closed since the last one. Non-positive disables
+    /// checkpoints (journal-only durability; resume then replays the
+    /// whole run through the answer cache). Cadence and sync mode are
+    /// excluded from the config fingerprint, so they may differ between
+    /// the original run and the resume.
+    int checkpoint_every_rounds = 8;
+  };
+  DurabilityOptions durability;
 };
 
 /// Output of one engine run.
@@ -89,7 +117,34 @@ struct EngineResult {
   AccuracyMetrics accuracy;
   /// Monetary cost under the configured AMT model.
   double cost_usd = 0.0;
+
+  /// What the durability subsystem did during this run (all-default when
+  /// EngineOptions::durability.dir was empty).
+  struct DurabilityInfo {
+    bool enabled = false;
+    bool resumed = false;
+    /// A consistent checkpoint let the driver skip completed work.
+    bool used_checkpoint = false;
+    /// The crash left a half-written record that recovery truncated.
+    bool recovered_torn_tail = false;
+    /// Paid pair attempts / unary questions answered from the journal
+    /// instead of the oracle (0 on a fresh run).
+    int64_t replayed_pair_attempts = 0;
+    int64_t replayed_unary_questions = 0;
+    /// Records in the journal when the run finished / appended by it.
+    int64_t journal_records = 0;
+    int64_t new_records = 0;
+  };
+  DurabilityInfo durability;
 };
+
+/// The run-configuration fingerprint stamped into journals and
+/// checkpoints: a stable hash of the dataset contents and every option
+/// that affects the question/answer stream (the audit flag and the
+/// durability options themselves are deliberately excluded, so a resume
+/// may e.g. turn auditing on or change the checkpoint cadence). A resume
+/// whose fingerprint differs from the journal's is refused.
+uint64_t RunFingerprint(const Dataset& dataset, const EngineOptions& options);
 
 /// Runs a crowd-enabled skyline query. Fails on invalid options (no crowd
 /// attribute, even worker count, ...).

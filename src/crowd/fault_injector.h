@@ -89,6 +89,7 @@ class FaultInjector {
   /// from the RNG (Rng::Bernoulli short-circuits), keeping disabled fault
   /// classes out of the random stream.
   AttemptFault NextAttemptFault() {
+    ++attempt_draws_;
     if (rng_.Bernoulli(plan_.transient_error_rate)) {
       return AttemptFault::kTransientError;
     }
@@ -100,14 +101,23 @@ class FaultInjector {
 
   /// Draws the fate of the next worker-assignment.
   VoteFault NextVoteFault() {
+    ++vote_draws_;
     if (rng_.Bernoulli(plan_.worker_no_show_rate)) return VoteFault::kNoShow;
     if (rng_.Bernoulli(plan_.straggler_rate)) return VoteFault::kStraggler;
     return VoteFault::kOnTime;
   }
 
+  /// Draw cursors: how many attempt/vote fates have been decided so far.
+  /// The answer journal stamps each record with the cursor so recovery can
+  /// verify that the re-driven fault stream reaches the same position.
+  uint64_t attempt_draws() const { return attempt_draws_; }
+  uint64_t vote_draws() const { return vote_draws_; }
+
  private:
   FaultPlan plan_;
   Rng rng_;
+  uint64_t attempt_draws_ = 0;
+  uint64_t vote_draws_ = 0;
 };
 
 /// One-line human-readable description of a plan ("faults disabled" or the

@@ -83,6 +83,10 @@ class CrowdMarketplace : public CrowdOracle {
   PairOutcome AnswerPairOutcome(const PairQuestion& q,
                                 const AskContext& ctx) override;
 
+  const FaultInjector* fault_injector() const override {
+    return &fault_injector_;
+  }
+
   const std::vector<Worker>& workers() const { return workers_; }
   int pool_size() const { return static_cast<int>(workers_.size()); }
   int qualified_count() const { return static_cast<int>(qualified_.size()); }

@@ -19,6 +19,8 @@
 
 namespace crowdsky {
 
+class FaultInjector;
+
 /// Cumulative oracle-side counters. The robustness counters (everything
 /// below `worker_answers`) stay 0 unless the oracle injects faults.
 struct OracleStats {
@@ -84,6 +86,11 @@ class CrowdOracle {
 
   const OracleStats& stats() const { return stats_; }
   void ResetStats() { stats_ = OracleStats{}; }
+
+  /// The fault injector driving this oracle's failure simulation, if any.
+  /// The answer journal stamps each record with the injector's draw
+  /// cursor so recovery can verify the re-driven fault stream.
+  virtual const FaultInjector* fault_injector() const { return nullptr; }
 
  protected:
   OracleStats stats_;

@@ -13,17 +13,30 @@
 //    error, expired HIT, vote set below the majority floor) is requeued
 //    with a capped retry count and round-based backoff; each retry is a
 //    *paid* attempt, logged as a RetryEvent so the invariant auditor can
-//    verify that no question is paid twice without a recorded retry.
+//    verify that no question is paid twice without a recorded retry,
+//  * optional durability — with a journal attached (AttachJournal) every
+//    resolved question, unary ask and closed round is appended to the
+//    write-ahead answer journal the moment it happens; after a crash,
+//    RestoreFromJournal folds the checkpointed prefix of the recovered
+//    journal straight back into this state and queues the tail as
+//    *credits*: the resumed run re-executes deterministically, and each
+//    ask that the dead process already paid for draws its attempt
+//    outcomes from the matching credit instead of the oracle — same
+//    accounting code path, no oracle call, nothing paid twice, nothing
+//    re-appended.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "crowd/oracle.h"
 #include "crowd/question.h"
+#include "persist/journal.h"
 
 namespace crowdsky {
 
@@ -53,6 +66,29 @@ struct RetryPolicy {
   int backoff_base_rounds = 1;
   int max_backoff_rounds = 8;
 };
+
+/// int64 addition that clamps at the numeric limits instead of wrapping.
+inline int64_t SaturatingAdd(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return out;
+}
+
+/// Latency rounds charged for requeueing after failed attempt
+/// `failed_attempt` (0-based): backoff_base_rounds << failed_attempt,
+/// capped at max_backoff_rounds. The shift is bounded so that arbitrarily
+/// large retry caps cannot overflow (base < 2^31 and shift <= 30 keep the
+/// raw product below 2^61 before the cap applies).
+inline int64_t RetryBackoffRounds(const RetryPolicy& policy,
+                                  int failed_attempt) {
+  const int shift = std::min(failed_attempt, 30);
+  const int64_t raw = static_cast<int64_t>(policy.backoff_base_rounds)
+                      << shift;
+  return std::min<int64_t>(raw, policy.max_backoff_rounds);
+}
 
 /// One recorded retry: attempt `attempt` (1-based) of `question` was paid
 /// for because the previous attempt failed for `reason`.
@@ -178,9 +214,65 @@ class CrowdSession {
   /// The configured question budget (negative = unlimited).
   int64_t question_budget() const { return budget_; }
 
+  // --- durability -------------------------------------------------------
+
+  /// Attaches the write-ahead answer journal. Not owned; must outlive the
+  /// session. Every subsequently resolved question / unary ask / closed
+  /// round is appended synchronously (a failed append aborts the run
+  /// rather than continuing undurably).
+  void AttachJournal(persist::JournalWriter* journal) {
+    CROWDSKY_CHECK(journal != nullptr);
+    CROWDSKY_CHECK_MSG(journal_ == nullptr, "journal already attached");
+    journal_ = journal;
+  }
+  /// The attached journal (not owned), or nullptr. Const because the
+  /// session does not own it — the auditor syncs and re-reads it through
+  /// a const session reference.
+  persist::JournalWriter* journal() const { return journal_; }
+
+  /// Rebuilds session state from a recovered journal. Must be called on a
+  /// fresh session, after SetRetryPolicy/SetQuestionBudget and before the
+  /// algorithm runs. `fold` (the checkpointed prefix) is re-accounted
+  /// immediately — cache, stats, rounds, paid log — exactly as if the asks
+  /// had just happened; `credits` (the tail) is queued and consumed
+  /// in order by the re-executed remainder of the run: a TryAsk /
+  /// AskUnary / EndRound that matches the front credit draws its outcome
+  /// from the journal instead of the oracle and appends nothing.
+  /// `checkpoint_cache_hits` restores the free-lookup ledger the skipped
+  /// work accumulated (cache hits never touch the journal).
+  void RestoreFromJournal(const std::vector<persist::JournalRecord>& fold,
+                          std::deque<persist::JournalRecord> credits,
+                          int64_t checkpoint_cache_hits);
+
+  /// Journal records this session has accounted for: folded + consumed as
+  /// credits + freshly appended. Checkpoints reference this (the journal
+  /// *file* may still hold unconsumed credits beyond it).
+  int64_t journal_position() const { return journal_position_; }
+  /// Credits still queued (0 once the resumed run passes the crash point).
+  int64_t credits_remaining() const {
+    return static_cast<int64_t>(credits_.size());
+  }
+  /// Paid pair attempts whose outcome came from the journal, not the
+  /// oracle (fold + credits).
+  int64_t replayed_pair_attempts() const { return replayed_pair_attempts_; }
+  /// Unary questions answered from the journal.
+  int64_t replayed_unary_questions() const { return replayed_unary_; }
+
  private:
   /// Charges one paid attempt for `canonical` to the budget and logs.
   void ChargeAttempt(const PairQuestion& canonical);
+  /// The retry loop shared by live asks and journal replay: when
+  /// `scripted` is set, attempt outcomes come from its recorded attempts
+  /// (no oracle call, no journal append) and the loop CHECKs that the
+  /// re-executed control flow consumes the record exactly.
+  AskResult RunAskLoop(const PairQuestion& canonical, bool flipped,
+                       const AskContext& ctx,
+                       const persist::JournalRecord* scripted);
+  /// Stamps the fault-trace cursor and appends, aborting on I/O failure.
+  void AppendToJournal(persist::JournalRecord record);
+  void AppendPairRecord(const PairQuestion& canonical, const AskContext& ctx,
+                        std::vector<persist::AttemptOutcome> attempts,
+                        bool resolved, Answer answer);
 
   CrowdOracle* oracle_;
   std::unordered_map<PairQuestion, Answer, PairQuestionHash> cache_;
@@ -192,6 +284,11 @@ class CrowdSession {
   std::vector<RetryEvent> retry_events_;
   int64_t open_round_questions_ = 0;
   int64_t budget_ = -1;
+  persist::JournalWriter* journal_ = nullptr;
+  std::deque<persist::JournalRecord> credits_;
+  int64_t journal_position_ = 0;
+  int64_t replayed_pair_attempts_ = 0;
+  int64_t replayed_unary_ = 0;
 };
 
 }  // namespace crowdsky

@@ -1,0 +1,150 @@
+#include "persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "persist/wire.h"
+
+namespace crowdsky::persist {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'S', 'K', 'Y', 'C', 'K', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kMaxListEntries = 1u << 26;
+
+void PutBytes(ByteWriter* w, const std::vector<uint8_t>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (const uint8_t b : v) w->PutU8(b);
+}
+
+void PutInts(ByteWriter* w, const std::vector<int32_t>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (const int32_t i : v) w->PutI32(i);
+}
+
+bool GetBytes(ByteReader* r, std::vector<uint8_t>* v) {
+  const uint32_t n = r->GetU32();
+  if (!r->ok() || n > kMaxListEntries) return false;
+  v->resize(n);
+  for (uint8_t& b : *v) {
+    b = r->GetU8();
+    if (b > 1) return false;
+  }
+  return r->ok();
+}
+
+bool GetInts(ByteReader* r, std::vector<int32_t>* v) {
+  const uint32_t n = r->GetU32();
+  if (!r->ok() || n > kMaxListEntries) return false;
+  v->resize(n);
+  for (int32_t& i : *v) i = r->GetI32();
+  return r->ok();
+}
+
+std::string EncodeCheckpoint(const CheckpointData& d) {
+  ByteWriter w;
+  for (const char c : kMagic) w.PutU8(static_cast<uint8_t>(c));
+  w.PutU32(kFormatVersion);
+  w.PutU64(d.fingerprint);
+  w.PutI64(d.journal_records);
+  w.PutI32(d.num_tuples);
+  PutBytes(&w, d.complete);
+  PutBytes(&w, d.nonskyline);
+  PutInts(&w, d.skyline);
+  PutInts(&w, d.undetermined);
+  PutInts(&w, d.pending);
+  w.PutI64(d.free_lookups);
+  w.PutI64(d.cache_hits);
+  std::string payload = w.Take();
+  ByteWriter crc;
+  crc.PutU32(Crc32(payload));
+  payload += crc.str();
+  return payload;
+}
+
+bool DecodeCheckpoint(std::string_view data, CheckpointData* out) {
+  if (data.size() < sizeof kMagic + 4 ||
+      std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
+    return false;
+  }
+  ByteReader tail(data.substr(data.size() - 4));
+  if (tail.GetU32() != Crc32(data.data(), data.size() - 4)) return false;
+  ByteReader r(data.substr(0, data.size() - 4));
+  for (size_t i = 0; i < sizeof kMagic; ++i) r.GetU8();
+  if (r.GetU32() != kFormatVersion) return false;
+  out->fingerprint = r.GetU64();
+  out->journal_records = r.GetI64();
+  out->num_tuples = r.GetI32();
+  if (!GetBytes(&r, &out->complete) || !GetBytes(&r, &out->nonskyline) ||
+      !GetInts(&r, &out->skyline) || !GetInts(&r, &out->undetermined) ||
+      !GetInts(&r, &out->pending)) {
+    return false;
+  }
+  out->free_lookups = r.GetI64();
+  out->cache_hits = r.GetI64();
+  if (!r.exhausted()) return false;
+  const size_t n = static_cast<size_t>(out->num_tuples);
+  return out->journal_records >= 0 && out->num_tuples >= 0 &&
+         out->complete.size() == n && out->nonskyline.size() == n &&
+         out->free_lookups >= 0 && out->cache_hits >= 0;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
+  const std::string encoded = EncodeCheckpoint(data);
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create checkpoint temp '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  const char* p = encoded.data();
+  size_t left = encoded.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(std::string("checkpoint write failed: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fdatasync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("checkpoint fdatasync failed");
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot publish checkpoint '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("checkpoint '" + path + "' does not exist");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string data = contents.str();
+  CheckpointData out;
+  if (!DecodeCheckpoint(data, &out)) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "' is corrupt or unrecognized");
+  }
+  return out;
+}
+
+}  // namespace crowdsky::persist

@@ -1,0 +1,57 @@
+// Atomic driver-progress checkpoints, the second leg of crash-safe runs.
+//
+// A checkpoint snapshots everything a CrowdSky-family driver needs to skip
+// its completed work on resume: the completion bitsets, the partial
+// skyline and undetermined lists, the free-lookup/cache-hit ledgers, and —
+// crucially — how many journal records the snapshot covers. Checkpoints
+// are only taken at *quiescent* points (no evaluator mid-flight, no open
+// crowd round), so the journal prefix up to `journal_records` is exactly
+// the set of questions the skipped work paid for; the journal tail beyond
+// it replays through the re-executed remainder as credits.
+//
+// Durability: written to a temp file, fsynced, then renamed over the live
+// checkpoint — a crash mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowdsky::persist {
+
+/// One durable snapshot of driver progress.
+struct CheckpointData {
+  /// Must match the journal's (and the run's) config fingerprint.
+  uint64_t fingerprint = 0;
+  /// Journal records covered: the session folds records [0, journal_records)
+  /// directly into its state; later records replay as credits.
+  int64_t journal_records = 0;
+  int32_t num_tuples = 0;
+  /// Per-tuple completion flags (0/1), CompletionState at the snapshot.
+  std::vector<uint8_t> complete;
+  std::vector<uint8_t> nonskyline;
+  /// Partial skyline in discovery order (drivers sort at the end).
+  std::vector<int32_t> skyline;
+  /// Undetermined tuples in discovery order.
+  std::vector<int32_t> undetermined;
+  /// Driver-specific pending work list (ParallelSL: the ready queue in
+  /// activation order; empty for the serial and DSet drivers, which
+  /// re-derive their iteration order from the completion bitsets).
+  std::vector<int32_t> pending;
+  /// Ledgers that the skipped work accumulated and re-execution cannot
+  /// regenerate.
+  int64_t free_lookups = 0;
+  int64_t cache_hits = 0;
+};
+
+/// Atomically replaces the checkpoint at `path`.
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data);
+
+/// Loads and validates a checkpoint. NotFound when no checkpoint exists;
+/// InvalidArgument on corruption (callers typically fall back to a
+/// journal-only resume in that case).
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace crowdsky::persist

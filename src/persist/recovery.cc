@@ -1,0 +1,171 @@
+#include "persist/recovery.h"
+
+#include <cstring>
+#include <deque>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "crowd/fault_injector.h"
+#include "crowd/oracle.h"
+#include "crowd/session.h"
+
+namespace crowdsky::persist {
+namespace {
+
+uint8_t StatusByte(PairOutcome::Status status) {
+  switch (status) {
+    case PairOutcome::Status::kOk:
+      return AttemptOutcome::kOk;
+    case PairOutcome::Status::kDegradedQuorum:
+      return AttemptOutcome::kDegradedQuorum;
+    case PairOutcome::Status::kFailed:
+      return AttemptOutcome::kFailed;
+  }
+  return AttemptOutcome::kFailed;
+}
+
+bool AttemptMatches(const PairOutcome& outcome, const AttemptOutcome& a) {
+  return StatusByte(outcome.status) == a.status &&
+         outcome.transient_error == a.transient_error &&
+         outcome.hit_expired == a.hit_expired &&
+         outcome.extra_latency_rounds == a.extra_latency_rounds &&
+         outcome.votes_expected == a.votes_expected &&
+         outcome.votes_counted == a.votes_counted &&
+         outcome.no_shows == a.no_shows &&
+         outcome.stragglers == a.stragglers;
+}
+
+Status Diverged(int64_t index, const std::string& what) {
+  return Status::FailedPrecondition(
+      "journal record " + std::to_string(index) +
+      " does not replay against this configuration (" + what +
+      "); the journal belongs to a different run");
+}
+
+/// Replays one record's oracle calls, verifying bit-exact agreement. On
+/// success the oracle's RNG / pool / fault streams have advanced exactly
+/// as they did when the record was first written.
+Status RedriveRecord(CrowdOracle* oracle, const JournalRecord& record,
+                     int64_t index) {
+  AskContext ctx;
+  ctx.freq = static_cast<size_t>(record.freq);
+  switch (record.kind) {
+    case JournalRecord::Kind::kPairAsk: {
+      if (record.attempts.empty()) return Diverged(index, "no attempts");
+      for (size_t i = 0; i < record.attempts.size(); ++i) {
+        const PairOutcome outcome =
+            oracle->AnswerPairOutcome(record.question, ctx);
+        if (!AttemptMatches(outcome, record.attempts[i])) {
+          return Diverged(index, "attempt outcome mismatch");
+        }
+        const bool last = i + 1 == record.attempts.size();
+        const bool failed = outcome.status == PairOutcome::Status::kFailed;
+        if (failed != (last ? !record.resolved : true)) {
+          return Diverged(index, "attempt shape mismatch");
+        }
+        if (last && record.resolved && outcome.answer != record.answer) {
+          return Diverged(index, "aggregated answer mismatch");
+        }
+      }
+      break;
+    }
+    case JournalRecord::Kind::kUnary: {
+      const double value =
+          oracle->AnswerUnary(record.unary_id, record.unary_attr, ctx);
+      if (std::memcmp(&value, &record.unary_value, sizeof value) != 0) {
+        return Diverged(index, "unary value mismatch");
+      }
+      break;
+    }
+    case JournalRecord::Kind::kRoundEnd:
+      break;  // rounds are session bookkeeping; nothing to re-drive
+  }
+  if (const FaultInjector* injector = oracle->fault_injector();
+      injector != nullptr) {
+    if (injector->attempt_draws() != record.fault_attempt_draws ||
+        injector->vote_draws() != record.fault_vote_draws) {
+      return Diverged(index, "fault-trace cursor mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string JournalPath(const std::string& dir) {
+  return dir + "/journal.bin";
+}
+
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.bin";
+}
+
+Result<ResumeOutcome> PrepareResume(const std::string& dir,
+                                    uint64_t fingerprint, SyncMode sync,
+                                    CrowdOracle* oracle,
+                                    CrowdSession* session) {
+  CROWDSKY_CHECK(oracle != nullptr && session != nullptr);
+  const std::string journal_path = JournalPath(dir);
+  CROWDSKY_ASSIGN_OR_RETURN(RecoveredJournal recovered,
+                            ReadJournal(journal_path));
+  if (recovered.fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "journal '" + journal_path +
+        "' was written by a different run configuration; refusing to "
+        "replay its answers");
+  }
+  ResumeOutcome out;
+  if (recovered.torn_tail) {
+    CROWDSKY_RETURN_NOT_OK(
+        TruncateJournal(journal_path, recovered.valid_bytes));
+    out.recovered_torn_tail = true;
+    out.torn_bytes = recovered.torn_bytes;
+  }
+  out.journal_records = static_cast<int64_t>(recovered.records.size());
+
+  // A checkpoint is an optimization, never a requirement: missing,
+  // corrupt, mismatched or stale checkpoints all degrade to a journal-only
+  // resume (fold nothing, replay everything as credits).
+  const Result<CheckpointData> checkpoint =
+      ReadCheckpoint(CheckpointPath(dir));
+  if (checkpoint.ok() && checkpoint->fingerprint == fingerprint &&
+      checkpoint->journal_records >= 0 &&
+      checkpoint->journal_records <= out.journal_records) {
+    out.used_checkpoint = true;
+    out.checkpoint = *checkpoint;
+  }
+
+  // Re-drive the oracle over every recovered record. This authenticates
+  // the journal against the current seed/options and leaves the oracle's
+  // random streams exactly where the dead process's stood.
+  for (size_t i = 0; i < recovered.records.size(); ++i) {
+    CROWDSKY_RETURN_NOT_OK(RedriveRecord(oracle, recovered.records[i],
+                                         static_cast<int64_t>(i)));
+  }
+
+  const auto fold_end =
+      recovered.records.begin() +
+      (out.used_checkpoint
+           ? static_cast<ptrdiff_t>(out.checkpoint.journal_records)
+           : 0);
+  out.fold.assign(std::make_move_iterator(recovered.records.begin()),
+                  std::make_move_iterator(fold_end));
+  std::deque<JournalRecord> credits(
+      std::make_move_iterator(fold_end),
+      std::make_move_iterator(recovered.records.end()));
+  out.folded_records = static_cast<int64_t>(out.fold.size());
+  out.credit_records = static_cast<int64_t>(credits.size());
+
+  session->RestoreFromJournal(
+      out.fold, std::move(credits),
+      out.used_checkpoint ? out.checkpoint.cache_hits : 0);
+
+  CROWDSKY_ASSIGN_OR_RETURN(
+      out.writer, JournalWriter::OpenForAppend(journal_path, fingerprint,
+                                               sync, out.journal_records));
+  session->AttachJournal(out.writer.get());
+  return out;
+}
+
+}  // namespace crowdsky::persist

@@ -1,0 +1,75 @@
+// Crash recovery: turns a journal directory back into a live, resumable
+// run.
+//
+// PrepareResume is the one entry point. It
+//   1. reads the journal, truncating any torn tail left by the crash,
+//   2. refuses to proceed if the journal's config fingerprint does not
+//      match the resuming run's,
+//   3. loads the checkpoint if one exists and is consistent (corrupt or
+//      stale checkpoints degrade to a journal-only resume, never an error),
+//   4. re-drives the deterministic oracle over *every* recovered record,
+//      verifying bit-exact agreement (attempt outcomes, answers, unary
+//      values, fault-trace cursors) — this both authenticates the journal
+//      against the current configuration and advances the oracle's RNG /
+//      worker-pool / fault state to exactly where the dead process stood,
+//   5. folds the checkpointed prefix into the session and queues the tail
+//      as credits, and
+//   6. reopens the journal for appending.
+//
+// After PrepareResume succeeds, the algorithm simply runs: completed work
+// is skipped via the checkpoint, already-paid questions replay from
+// credits, and the first genuinely new question hits the oracle with every
+// random stream in the same position as an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+
+namespace crowdsky {
+class CrowdOracle;
+class CrowdSession;
+}  // namespace crowdsky
+
+namespace crowdsky::persist {
+
+/// Canonical file locations inside a durability directory.
+std::string JournalPath(const std::string& dir);
+std::string CheckpointPath(const std::string& dir);
+
+/// Everything a resumed run needs that the session does not hold itself.
+struct ResumeOutcome {
+  /// A consistent checkpoint was found; `checkpoint` is meaningful and the
+  /// driver should skip the completed work it describes.
+  bool used_checkpoint = false;
+  CheckpointData checkpoint;
+  /// The crash left a half-written record that was truncated away.
+  bool recovered_torn_tail = false;
+  int64_t torn_bytes = 0;
+  /// Valid records recovered = folded_records + credit_records.
+  int64_t journal_records = 0;
+  int64_t folded_records = 0;
+  int64_t credit_records = 0;
+  /// The folded prefix, kept alive for the driver's knowledge rebuild
+  /// (preference-graph Record() replay in journal order).
+  std::vector<JournalRecord> fold;
+  /// The reopened journal; attach to the session and keep alive for the
+  /// rest of the run.
+  std::unique_ptr<JournalWriter> writer;
+};
+
+/// Recovers `dir` into `session` (which must be fresh, with its budget and
+/// retry policy already configured) against `oracle` (freshly constructed
+/// from the same seed/options as the original run). `fingerprint` must
+/// match the journal header. `sync` configures the reopened writer.
+Result<ResumeOutcome> PrepareResume(const std::string& dir,
+                                    uint64_t fingerprint, SyncMode sync,
+                                    CrowdOracle* oracle,
+                                    CrowdSession* session);
+
+}  // namespace crowdsky::persist

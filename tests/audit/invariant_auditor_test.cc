@@ -530,6 +530,165 @@ TEST_F(AuditedRunTest, AuditedBudgetRunStaysConsistent) {
   EXPECT_LE(result.questions, 10);
 }
 
+// ---------------------------------------------------------------------------
+// Journal / durability ledger.
+
+class JournalAuditTest : public ::testing::Test {
+ protected:
+  JournalAuditTest() : toy_(MakeToyDataset()) {}
+
+  /// A resolved single-attempt pair record, the shape a fault-free ask
+  /// journals.
+  static persist::JournalRecord PairRec(int attr, int first, int second) {
+    persist::JournalRecord r;
+    r.kind = persist::JournalRecord::Kind::kPairAsk;
+    r.question = PairQuestion{attr, first, second};
+    r.resolved = true;
+    r.answer = Answer::kFirstPreferred;
+    r.attempts.push_back(persist::AttemptOutcome{});
+    return r;
+  }
+
+  static persist::JournalRecord RoundRec(int64_t questions) {
+    persist::JournalRecord r;
+    r.kind = persist::JournalRecord::Kind::kRoundEnd;
+    r.round_questions = questions;
+    return r;
+  }
+
+  /// Two paid asks + one closed round on session_, with the matching
+  /// journal.
+  void AskTwo(std::vector<persist::JournalRecord>* records) {
+    session_.Ask(0, 0, 1);
+    session_.Ask(0, 2, 3);
+    session_.EndRound();
+    *records = {PairRec(0, 0, 1), PairRec(0, 2, 3), RoundRec(2)};
+  }
+
+  Dataset toy_;
+  PerfectOracle oracle_{toy_};
+  CrowdSession session_{&oracle_};
+};
+
+TEST_F(JournalAuditTest, CleanJournalPasses) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(JournalAuditTest, LiveSessionWithRealJournalPasses) {
+  const std::string path =
+      ::testing::TempDir() + "/audit_journal_live.bin";
+  std::remove(path.c_str());
+  auto writer =
+      persist::JournalWriter::Create(path, 1, persist::SyncMode::kFlush);
+  ASSERT_TRUE(writer.ok());
+  CrowdSession session(&oracle_);
+  session.AttachJournal(writer->get());
+  session.Ask(0, 0, 1);
+  session.Ask(0, 2, 3);
+  session.EndRound();
+  session.Ask(0, 1, 0);  // cache hit: must not reach the journal
+  session.Ask(0, 4, 5);
+  session.EndRound();
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto recovered = persist::ReadJournal(path);
+  ASSERT_TRUE(recovered.ok());
+  AuditReport report;
+  InvariantAuditor().AuditJournal(recovered->records, session, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsPaidQuestionWithoutDurableRecord) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  // The second ask never made it to disk.
+  records.erase(records.begin() + 1);
+  records.back().round_questions = 1;
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.paid_log")) << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsSecondDurableRecordForOneQuestion) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  // Re-pay the first question behind the session's back.
+  records[1] = records[0];
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.one_record"))
+      << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsRoundPartitionMismatch) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  records.back().round_questions = 5;
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.round_partition"))
+      << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsResolvedRecordEndingInFailure) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  records[0].attempts.back().status = persist::AttemptOutcome::kFailed;
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.record_shape"))
+      << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsUnjournaledRetry) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  // An extra successful attempt inside one record: the journal now
+  // implies a retry the session never recorded (and a mid-record
+  // non-failed attempt).
+  records[0].attempts.push_back(persist::AttemptOutcome{});
+  records.back().round_questions = 3;
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.retries")) << report.ToString();
+  EXPECT_TRUE(HasViolation(report, "journal.record_shape"))
+      << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsFaultCursorRegression) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  records[0].fault_attempt_draws = 9;
+  records[0].fault_vote_draws = 45;  // later records stay at 0
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.fault_cursor"))
+      << report.ToString();
+}
+
+TEST_F(JournalAuditTest, ReportsOpenRoundTailMismatch) {
+  std::vector<persist::JournalRecord> records;
+  AskTwo(&records);
+  // A question journaled past the last round end that the session never
+  // paid for in its open round.
+  records.push_back(PairRec(0, 6, 7));
+  AuditReport report;
+  InvariantAuditor().AuditJournalSnapshot(records,
+                                          SnapshotSession(session_), &report);
+  EXPECT_TRUE(HasViolation(report, "journal.open_round"))
+      << report.ToString();
+}
+
 }  // namespace
 }  // namespace audit
 }  // namespace crowdsky

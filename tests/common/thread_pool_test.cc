@@ -118,10 +118,21 @@ TEST(ThreadPoolTest, NestedSubmitFromWorkerCompletes) {
 TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
   ::setenv("CROWDSKY_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
-  ::setenv("CROWDSKY_THREADS", "0", 1);  // invalid -> hardware fallback
-  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  ::setenv("CROWDSKY_THREADS", " 42", 1);  // leading blanks are fine
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 42);
   ::unsetenv("CROWDSKY_THREADS");
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolDeathTest, RejectsInvalidEnvOverride) {
+  // A set-but-broken override must abort loudly, not silently fall back
+  // to hardware_concurrency (the user believes they pinned the count).
+  for (const char* bad : {"0", "-2", "fast", "1.5", "3threads", "",
+                          "99999999999999999999"}) {
+    ::setenv("CROWDSKY_THREADS", bad, 1);
+    EXPECT_DEATH(ThreadPool::DefaultThreads(), "CROWDSKY_THREADS") << bad;
+  }
+  ::unsetenv("CROWDSKY_THREADS");
 }
 
 TEST(ThreadPoolTest, ScopedThreadsOverridesAndRestoresGlobal) {

@@ -3,6 +3,8 @@
 // (every attempt paid, every repeat justified by a retry event).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -205,6 +207,68 @@ TEST(ResilienceTest, AuditorAcceptsARetriedSession) {
   audit::AuditReport report;
   audit::InvariantAuditor().AuditSession(session, &report);
   EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ResilienceTest, BackoffShiftIsClampedAtTheCapBoundary) {
+  RetryPolicy policy;
+  policy.backoff_base_rounds = 1;
+  policy.max_backoff_rounds = 8;
+  // Exact doubling below the cap, then flat — including shift counts far
+  // past 63, which would be UB on a raw `base << attempt`.
+  EXPECT_EQ(RetryBackoffRounds(policy, 0), 1);
+  EXPECT_EQ(RetryBackoffRounds(policy, 1), 2);
+  EXPECT_EQ(RetryBackoffRounds(policy, 2), 4);
+  EXPECT_EQ(RetryBackoffRounds(policy, 3), 8);
+  EXPECT_EQ(RetryBackoffRounds(policy, 4), 8);
+  EXPECT_EQ(RetryBackoffRounds(policy, 63), 8);
+  EXPECT_EQ(RetryBackoffRounds(policy, 1000000), 8);
+}
+
+TEST(ResilienceTest, HugeRetryCapsCannotOverflowTheBackoff) {
+  RetryPolicy policy;
+  policy.backoff_base_rounds = std::numeric_limits<int>::max();
+  policy.max_backoff_rounds = std::numeric_limits<int>::max();
+  // base << 30 is ~2^61: representable, then clamped to the cap. No
+  // signed overflow anywhere, for any attempt number.
+  for (const int attempt : {0, 1, 29, 30, 31, 62, 1 << 30}) {
+    EXPECT_EQ(RetryBackoffRounds(policy, attempt),
+              std::numeric_limits<int>::max())
+        << attempt;
+  }
+  // Below the cap the clamped shift is exact: 3 << 29 < INT_MAX.
+  policy.backoff_base_rounds = 3;
+  EXPECT_EQ(RetryBackoffRounds(policy, 29), int64_t{3} << 29);
+  EXPECT_EQ(RetryBackoffRounds(policy, 62),
+            std::numeric_limits<int>::max());  // 3 << 30 hits the cap
+}
+
+TEST(ResilienceTest, SaturatingAddClampsAtTheLimits) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(SaturatingAdd(1, 2), 3);
+  EXPECT_EQ(SaturatingAdd(kMax, 0), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax, 1), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax, kMax), kMax);
+  EXPECT_EQ(SaturatingAdd(kMin, -1), kMin);
+  EXPECT_EQ(SaturatingAdd(kMax, kMin), -1);
+}
+
+TEST(ResilienceTest, LatencyAccumulatorSaturatesInsteadOfWrapping) {
+  // Four failures under an extreme policy: each requeue charges
+  // INT_MAX backoff rounds and the accumulator must clamp, not wrap into
+  // a negative latency.
+  ScriptedOracle oracle({TransientFailure()});  // fails forever
+  CrowdSession session(&oracle);
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base_rounds = std::numeric_limits<int>::max();
+  policy.max_backoff_rounds = std::numeric_limits<int>::max();
+  session.SetRetryPolicy(policy);
+  const CrowdSession::AskResult res = session.TryAsk(0, 0, 1);
+  EXPECT_EQ(res.status, AskStatus::kUnresolved);
+  EXPECT_EQ(session.stats().backoff_rounds,
+            3 * int64_t{std::numeric_limits<int>::max()});
+  EXPECT_GE(session.stats().backoff_rounds, 0);  // no wraparound
 }
 
 TEST(ResilienceDeathTest, NegativeRetryPolicyIsRejected) {

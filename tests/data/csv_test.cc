@@ -103,6 +103,65 @@ TEST(CsvTest, RoundTripWithLabelsAndMixedDirections) {
   }
 }
 
+TEST(CsvTest, RoundTripPreservesTheHeaderLineExactly) {
+  std::istringstream in(
+      "width:known:max,height:known:min,area:crowd:max,label\n"
+      "1,2,2,box\n");
+  const Dataset ds = ReadCsv(in).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(ds, out).ok());
+  const std::string written = out.str();
+  EXPECT_EQ(written.substr(0, written.find('\n')),
+            "width:known:max,height:known:min,area:crowd:max,label");
+  // And the re-read schema is identical, spec by spec.
+  std::istringstream again(written);
+  const Dataset reread = ReadCsv(again).ValueOrDie();
+  EXPECT_TRUE(reread.schema() == ds.schema());
+}
+
+TEST(CsvTest, LabelsWithCommasRoundTrip) {
+  // The label is everything after the last numeric field, so commas
+  // inside it need no quoting ("Monsters, Inc.").
+  auto ds = Dataset::Make(Schema::MakeSynthetic(1, 1),
+                          {{1, 2}, {3, 4}},
+                          {"Monsters, Inc.", "plain"});
+  ds.status().CheckOK();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*ds, out).ok());
+  std::istringstream in(out.str());
+  const Dataset reread = ReadCsv(in).ValueOrDie();
+  EXPECT_EQ(reread.tuple(0).label, "Monsters, Inc.");
+  EXPECT_EQ(reread.tuple(1).label, "plain");
+}
+
+TEST(CsvTest, QuoteCharactersInLabelsAreLiteral) {
+  // No quoting layer exists by design: quote characters are label bytes
+  // and survive a round trip untouched.
+  auto ds = Dataset::Make(Schema::MakeSynthetic(1, 1), {{1, 2}},
+                          {"the \"best\" option"});
+  ds.status().CheckOK();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*ds, out).ok());
+  std::istringstream in(out.str());
+  const Dataset reread = ReadCsv(in).ValueOrDie();
+  EXPECT_EQ(reread.tuple(0).label, "the \"best\" option");
+}
+
+TEST(CsvTest, ExtremeValuesSurviveTheRoundTrip) {
+  // %.17g output must re-parse to the identical doubles.
+  auto ds = Dataset::Make(
+      Schema::MakeSynthetic(1, 1),
+      {{0.1, 1.0 / 3.0}, {1e-300, 123456789.123456789}});
+  ds.status().CheckOK();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*ds, out).ok());
+  std::istringstream in(out.str());
+  const Dataset reread = ReadCsv(in).ValueOrDie();
+  for (int i = 0; i < ds->size(); ++i) {
+    EXPECT_EQ(reread.tuple(i).values, ds->tuple(i).values) << i;
+  }
+}
+
 TEST(CsvTest, FileRoundTrip) {
   const Dataset original = MakeRectanglesDataset();
   const std::string path = ::testing::TempDir() + "/crowdsky_csv_test.csv";

@@ -1,0 +1,90 @@
+#include "persist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace crowdsky::persist {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+CheckpointData Sample() {
+  CheckpointData data;
+  data.fingerprint = 0xfeedface12345678ULL;
+  data.journal_records = 42;
+  data.num_tuples = 6;
+  data.complete = {1, 1, 0, 1, 0, 0};
+  data.nonskyline = {0, 1, 0, 0, 0, 0};
+  data.skyline = {0, 3};
+  data.undetermined = {3};
+  data.pending = {5, 2, 4};
+  data.free_lookups = 17;
+  data.cache_hits = 9;
+  return data;
+}
+
+TEST(CheckpointTest, RoundTripsEveryField) {
+  const std::string path = TempPath("checkpoint_roundtrip.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, Sample()).ok());
+  auto read = ReadCheckpoint(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const CheckpointData expected = Sample();
+  EXPECT_EQ(read->fingerprint, expected.fingerprint);
+  EXPECT_EQ(read->journal_records, expected.journal_records);
+  EXPECT_EQ(read->num_tuples, expected.num_tuples);
+  EXPECT_EQ(read->complete, expected.complete);
+  EXPECT_EQ(read->nonskyline, expected.nonskyline);
+  EXPECT_EQ(read->skyline, expected.skyline);
+  EXPECT_EQ(read->undetermined, expected.undetermined);
+  EXPECT_EQ(read->pending, expected.pending);
+  EXPECT_EQ(read->free_lookups, expected.free_lookups);
+  EXPECT_EQ(read->cache_hits, expected.cache_hits);
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadCheckpoint(TempPath("checkpoint_missing.bin"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CheckpointTest, RewriteReplacesAtomically) {
+  const std::string path = TempPath("checkpoint_rewrite.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, Sample()).ok());
+  CheckpointData next = Sample();
+  next.journal_records = 99;
+  next.skyline = {1, 2, 3};
+  ASSERT_TRUE(WriteCheckpoint(path, next).ok());
+  auto read = ReadCheckpoint(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->journal_records, 99);
+  EXPECT_EQ(read->skyline, next.skyline);
+}
+
+TEST(CheckpointTest, CorruptionIsRejected) {
+  const std::string path = TempPath("checkpoint_corrupt.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, Sample()).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(30);
+    f.write("\x5a", 1);
+  }
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+}
+
+TEST(CheckpointTest, TruncationIsRejected) {
+  const std::string path = TempPath("checkpoint_truncated.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, Sample()).ok());
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace crowdsky::persist
