@@ -251,8 +251,11 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
   // evaluators find every previously-paid answer already known.
   internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
                              &result, &free_lookups);
-  internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
-                             /*parallel_rounds=*/false);
+  {
+    obs::TraceSpan span = obs::SpanIf(options.obs, "phase.resolve_ties");
+    internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
+                               /*parallel_rounds=*/false);
+  }
   if (monitor) monitor->Observe(completion, &audit_report);
 
   // SKY_AK(R) members are complete from the start; those eliminated by the
@@ -266,6 +269,7 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
   if (monitor) monitor->Observe(completion, &audit_report);
 
   // Evaluate remaining tuples in ascending |DS(t)| order (line 7).
+  obs::TraceSpan evaluate_span = obs::SpanIf(options.obs, "phase.evaluate");
   for (const int t : structure.evaluation_order()) {
     if (completion.complete.Test(static_cast<size_t>(t))) continue;
     TupleEvaluator evaluator(t, structure, &knowledge, session, &completion,
@@ -294,6 +298,7 @@ AlgoResult RunCrowdSky(const Dataset& dataset,
     }
   }
 
+  evaluate_span.End();
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {

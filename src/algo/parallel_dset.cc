@@ -74,8 +74,11 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
   int64_t free_lookups = 0;
   internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
                              &result, &free_lookups);
-  internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
-                             /*parallel_rounds=*/true);
+  {
+    obs::TraceSpan span = obs::SpanIf(options.obs, "phase.resolve_ties");
+    internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
+                               /*parallel_rounds=*/true);
+  }
   if (monitor) monitor->Observe(completion, &audit_report);
   for (const int t : structure.known_skyline()) {
     if (completion.complete.Test(static_cast<size_t>(t))) continue;
@@ -88,6 +91,7 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
   // greedily split each partition into sub-batches with pairwise-disjoint
   // dominating sets.
   const std::vector<int>& order = structure.evaluation_order();
+  obs::TraceSpan evaluate_span = obs::SpanIf(options.obs, "phase.evaluate");
   size_t i = 0;
   while (i < order.size()) {
     const int ds_size = structure.dominating_set_size(order[i]);
@@ -155,6 +159,7 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
     }
   }
 
+  evaluate_span.End();
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {

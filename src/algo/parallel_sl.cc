@@ -26,8 +26,11 @@ AlgoResult RunParallelSL(const Dataset& dataset,
   int64_t free_lookups = 0;
   internal::ApplyResumeState(options.resume, n, &knowledge, &completion,
                              &result, &free_lookups);
-  internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
-                             /*parallel_rounds=*/true);
+  {
+    obs::TraceSpan span = obs::SpanIf(options.obs, "phase.resolve_ties");
+    internal::ResolveKnownTies(dataset, &knowledge, session, &completion,
+                               /*parallel_rounds=*/true);
+  }
   if (monitor) monitor->Observe(completion, &audit_report);
   // C is initialized with SL1 = SKY_AK(R) (line 4).
   for (const int t : structure.known_skyline()) {
@@ -100,6 +103,7 @@ AlgoResult RunParallelSL(const Dataset& dataset,
     }
   };
 
+  obs::TraceSpan evaluate_span = obs::SpanIf(options.obs, "phase.evaluate");
   while (!active.empty()) {
     bool any_paid = false;
     size_t keep = 0;
@@ -134,6 +138,7 @@ AlgoResult RunParallelSL(const Dataset& dataset,
                        "ParallelSL made no progress");
   }
 
+  evaluate_span.End();
   std::sort(result.skyline.begin(), result.skyline.end());
   internal::FillStats(*session, knowledge, free_lookups, n, &result);
   if (options.audit) {

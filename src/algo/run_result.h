@@ -112,6 +112,12 @@ struct CrowdSkyOptions {
   /// when a journal directory is configured). Not owned.
   DriverCheckpointHook* checkpoint_hook = nullptr;
   const DriverResumeState* resume = nullptr;
+  /// Observability sink (src/obs): drivers emit phase TraceSpans through
+  /// it and the session mirrors its ledgers into its counters. Null
+  /// (default) disables everything — the instrumented paths reduce to one
+  /// null check, so a run without an observer is bit-identical to the
+  /// pre-observability code. Not owned; must outlive the run.
+  obs::RunObserver* obs = nullptr;
 };
 
 /// Best-effort execution report: how much of the skyline decision was

@@ -49,16 +49,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  stat_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (workers_.empty()) {
     task();  // single-thread pool: synchronous, deterministic
+    stat_executed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   {
     std::lock_guard<std::mutex> lk(mutex_);
     deques_[next_deque_].push_back(std::move(task));
     next_deque_ = (next_deque_ + 1) % deques_.size();
+    NoteEnqueuedLocked();
   }
   cv_.notify_one();
+}
+
+void ThreadPool::NoteEnqueuedLocked() {
+  size_t depth = 0;
+  for (const auto& d : deques_) depth += d.size();
+  const auto depth64 = static_cast<int64_t>(depth);
+  if (depth64 > stat_max_queue_depth_.load(std::memory_order_relaxed)) {
+    stat_max_queue_depth_.store(depth64, std::memory_order_relaxed);
+  }
 }
 
 void ThreadPool::WaitIdle() {
@@ -87,6 +99,7 @@ bool ThreadPool::PopTask(size_t self, std::function<void()>* task) {
     if (victim == self || deques_[victim].empty()) continue;
     *task = std::move(deques_[victim].back());
     deques_[victim].pop_back();
+    stat_steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -101,6 +114,7 @@ void ThreadPool::WorkerLoop(size_t self) {
       ++busy_workers_;
       lk.unlock();
       task();
+      stat_executed_.fetch_add(1, std::memory_order_relaxed);
       lk.lock();
       --busy_workers_;
       if (busy_workers_ == 0) cv_.notify_all();  // wake WaitIdle
@@ -129,6 +143,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t num_chunks = (n + chunk - 1) / chunk;
 
   Job job(num_chunks);
+  stat_parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  stat_submitted_.fetch_add(static_cast<int64_t>(num_chunks),
+                            std::memory_order_relaxed);
   const std::function<void(size_t, size_t)>* body = &fn;
   {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -153,6 +170,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       });
       next_deque_ = (next_deque_ + 1) % deques_.size();
     }
+    NoteEnqueuedLocked();
   }
   cv_.notify_all();
 
@@ -169,6 +187,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     }
     if (task) {
       task();
+      stat_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // Nothing runnable: the remaining chunks are in flight on workers.
@@ -201,6 +220,16 @@ int ThreadPool::DefaultThreads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::StatsSnapshot ThreadPool::stats() const {
+  StatsSnapshot s;
+  s.tasks_submitted = stat_submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = stat_executed_.load(std::memory_order_relaxed);
+  s.steals = stat_steals_.load(std::memory_order_relaxed);
+  s.parallel_fors = stat_parallel_fors_.load(std::memory_order_relaxed);
+  s.max_queue_depth = stat_max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::SetGlobalThreads(int num_threads) {

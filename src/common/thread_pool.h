@@ -27,8 +27,10 @@
 // prove race-free under the tsan preset.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -42,6 +44,24 @@ namespace crowdsky {
 /// \brief Fixed-size work-stealing thread pool with a blocking ParallelFor.
 class ThreadPool {
  public:
+  /// Point-in-time snapshot of the pool's self-maintained activity
+  /// counters. The pool keeps these itself (plain relaxed atomics) rather
+  /// than linking the observability library — common sits below obs in the
+  /// layering — and the engine scrapes them into the metric registry at
+  /// run end. All values except `tasks_*` totals are scheduling artefacts
+  /// and therefore nondeterministic across runs.
+  struct StatsSnapshot {
+    int64_t tasks_submitted = 0;   ///< tasks enqueued (Submit + chunks)
+    int64_t tasks_executed = 0;    ///< tasks run to completion
+    int64_t steals = 0;            ///< pops from a deque the popper
+                                   ///< doesn't own (incl. the ParallelFor
+                                   ///< caller, which owns no deque)
+    int64_t parallel_fors = 0;     ///< ParallelFor calls that enqueued
+                                   ///< chunks (inline degenerations not
+                                   ///< counted)
+    int64_t max_queue_depth = 0;   ///< high-water mark of total queued
+                                   ///< (not yet popped) tasks
+  };
   /// Creates a pool with `num_threads` total parallelism. `num_threads - 1`
   /// workers are spawned (the caller of ParallelFor is the remaining
   /// executor); with `num_threads <= 1` no threads are spawned at all.
@@ -84,11 +104,17 @@ class ThreadPool {
   /// no parallel work is in flight.
   static void SetGlobalThreads(int num_threads);
 
+  /// Reads the activity counters. Safe concurrently with running work
+  /// (each field is an independent relaxed load, so the snapshot is not a
+  /// single consistent cut; call after WaitIdle for exact totals).
+  StatsSnapshot stats() const;
+
  private:
   struct Job;  // shared completion state of one ParallelFor
 
   void WorkerLoop(size_t self);
   bool PopTask(size_t self, std::function<void()>* task);
+  void NoteEnqueuedLocked();  // queue high-water upkeep; mutex_ held
 
   int num_threads_;
   bool stop_ = false;
@@ -98,6 +124,14 @@ class ThreadPool {
   int busy_workers_ = 0;         // workers currently executing a task
   size_t next_deque_ = 0;        // round-robin submission cursor
   std::vector<std::thread> workers_;
+
+  // Activity counters (see StatsSnapshot). Relaxed: these are statistics,
+  // never synchronization.
+  std::atomic<int64_t> stat_submitted_{0};
+  std::atomic<int64_t> stat_executed_{0};
+  std::atomic<int64_t> stat_steals_{0};
+  std::atomic<int64_t> stat_parallel_fors_{0};
+  std::atomic<int64_t> stat_max_queue_depth_{0};
 };
 
 /// Scoped override of the global pool size; restores DefaultThreads() (the

@@ -10,10 +10,13 @@
 #include "algo/parallel_dset.h"
 #include "algo/parallel_sl.h"
 #include "algo/unary.h"
+#include "audit/invariant_auditor.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "crowd/oracle.h"
 #include "crowd/session.h"
 #include "crowd/voting.h"
+#include "obs/observer.h"
 #include "persist/checkpoint.h"
 #include "persist/recovery.h"
 #include "skyline/dominance_structure.h"
@@ -207,6 +210,16 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     return Status::InvalidArgument(
         "durability.resume requires durability.dir");
   }
+  if (!options.obs.trace_path.empty() &&
+      options.obs.level != obs::ObsLevel::kFull) {
+    return Status::InvalidArgument(
+        "obs.trace_path requires obs.level = kFull (tracing)");
+  }
+  if (!options.obs.metrics_path.empty() &&
+      options.obs.level == obs::ObsLevel::kDisabled) {
+    return Status::InvalidArgument(
+        "obs.metrics_path requires obs.level = kCounters or kFull");
+  }
   if (options.marketplace.faults.enabled()) {
     if (options.oracle != OracleKind::kMarketplace) {
       return Status::InvalidArgument(
@@ -220,8 +233,23 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     }
   }
 
-  const DominanceStructure structure(PreferenceMatrix::FromKnown(dataset));
+  // The observer (and the "run" span) covers setup, the driver, and the
+  // post-run accounting. Pool counters are scraped as deltas against this
+  // baseline because the global pool outlives individual runs.
+  std::unique_ptr<obs::RunObserver> observer;
+  if (options.obs.level != obs::ObsLevel::kDisabled) {
+    observer = std::make_unique<obs::RunObserver>(options.obs.level);
+  }
+  const ThreadPool::StatsSnapshot pool_baseline =
+      ThreadPool::Global().stats();
+  obs::TraceSpan run_span = obs::SpanIf(observer.get(), "run");
 
+  obs::TraceSpan structure_span =
+      obs::SpanIf(observer.get(), "setup.dominance_structure");
+  const DominanceStructure structure(PreferenceMatrix::FromKnown(dataset));
+  structure_span.End();
+
+  obs::TraceSpan oracle_span = obs::SpanIf(observer.get(), "setup.oracle");
   std::unique_ptr<CrowdOracle> oracle;
   if (options.oracle == OracleKind::kPerfect) {
     oracle = std::make_unique<PerfectOracle>(dataset);
@@ -242,14 +270,18 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
                                                 voting, rng.Next());
     }
   }
+  oracle_span.End();
   CrowdSession session(oracle.get());
   if (options.max_questions > 0) {
     session.SetQuestionBudget(options.max_questions);
   }
   session.SetRetryPolicy(options.retry);
+  // Attach before any durability restore so replayed work is counted too.
+  if (observer != nullptr) session.AttachObserver(observer.get());
 
   EngineResult result;
   CrowdSkyOptions crowdsky = options.crowdsky;
+  crowdsky.obs = observer.get();
   std::unique_ptr<persist::JournalWriter> journal;
   persist::ResumeOutcome recovered;
   DriverResumeState resume_state;
@@ -297,6 +329,7 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     }
   }
 
+  obs::TraceSpan algo_span = obs::SpanIf(observer.get(), "algorithm");
   switch (options.algorithm) {
     case Algorithm::kBaselineSort:
       result.algo = RunBaselineSort(dataset, &session);
@@ -318,6 +351,7 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
       result.algo = RunUnary(dataset, &session);
       break;
   }
+  algo_span.End();
 
   if (journal != nullptr) {
     CROWDSKY_CHECK_MSG(
@@ -341,6 +375,61 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
   AmtCostModel cost = options.cost_model;
   cost.workers_per_question = options.workers_per_question;
   result.cost_usd = cost.Cost(result.algo.questions_per_round);
+
+  if (observer != nullptr) {
+    // Scrape the quantities the session cannot mirror itself: oracle and
+    // cost-model aggregates, the journal writer's own ledgers, and the
+    // (nondeterministic) thread-pool deltas since the run started.
+    obs::MetricRegistry& metrics = observer->metrics();
+    metrics.FindOrCreateCounter("crowdsky.worker_answers")
+        ->Add(session.oracle_stats().worker_answers);
+    metrics.FindOrCreateCounter("crowdsky.free_lookups")
+        ->Add(result.algo.free_lookups);
+    metrics.FindOrCreateCounter("crowdsky.hits_paid")
+        ->Add(cost.Hits(result.algo.questions_per_round));
+    metrics.FindOrCreateGauge("crowdsky.cost_usd")->Set(result.cost_usd);
+    if (journal != nullptr) {
+      metrics.FindOrCreateCounter("journal.records_total")
+          ->Add(journal->records_total());
+      metrics.FindOrCreateCounter("journal.bytes_appended")
+          ->Add(journal->bytes_appended());
+      metrics.FindOrCreateCounter("journal.fsyncs")->Add(journal->fsyncs());
+    }
+    const ThreadPool::StatsSnapshot pool = ThreadPool::Global().stats();
+    metrics.FindOrCreateCounter("pool.tasks_submitted")
+        ->Add(pool.tasks_submitted - pool_baseline.tasks_submitted);
+    metrics.FindOrCreateCounter("pool.tasks_executed")
+        ->Add(pool.tasks_executed - pool_baseline.tasks_executed);
+    metrics.FindOrCreateCounter("pool.steals")
+        ->Add(pool.steals - pool_baseline.steals);
+    metrics.FindOrCreateCounter("pool.parallel_fors")
+        ->Add(pool.parallel_fors - pool_baseline.parallel_fors);
+    metrics.FindOrCreateGauge("pool.max_queue_depth")
+        ->Set(static_cast<double>(pool.max_queue_depth));
+
+    if (options.crowdsky.audit) {
+      audit::AuditReport obs_report;
+      const audit::InvariantAuditor auditor;
+      auditor.AuditObservability(metrics, session, result.algo, cost,
+                                 &obs_report);
+      CROWDSKY_CHECK_MSG(obs_report.ok(), obs_report.ToString().c_str());
+    }
+
+    run_span.End();
+    result.obs.enabled = true;
+    result.obs.tracing = observer->tracing_enabled();
+    result.obs.counters = metrics.CounterSamples();
+    result.obs.gauges = metrics.GaugeSamples();
+    result.obs.trace_events = observer->trace().event_count();
+    if (!options.obs.metrics_path.empty()) {
+      CROWDSKY_RETURN_NOT_OK(
+          obs::WritePrometheusText(options.obs.metrics_path, metrics));
+    }
+    if (!options.obs.trace_path.empty()) {
+      CROWDSKY_RETURN_NOT_OK(
+          obs::WriteChromeTrace(options.obs.trace_path, observer->trace()));
+    }
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/metrics.h"
@@ -23,6 +24,7 @@
 #include "crowd/marketplace.h"
 #include "crowd/worker_model.h"
 #include "data/dataset.h"
+#include "obs/observer.h"
 #include "persist/journal.h"
 
 namespace crowdsky {
@@ -106,6 +108,24 @@ struct EngineOptions {
     int checkpoint_every_rounds = 8;
   };
   DurabilityOptions durability;
+
+  /// Observability (src/obs). Off by default: with level kDisabled no
+  /// observer exists, every instrumented path reduces to a null check, and
+  /// the run is bit-identical to an un-instrumented engine. kCounters
+  /// collects the deterministic metric catalog (see DESIGN.md); kFull adds
+  /// wall-clock TraceSpans. Counter values never feed back into the
+  /// computation, so enabling observability cannot change any
+  /// deterministic output either.
+  struct ObsOptions {
+    obs::ObsLevel level = obs::ObsLevel::kDisabled;
+    /// Write a Chrome trace-event JSON (chrome://tracing, Perfetto) here
+    /// at the end of the run. Requires level kFull.
+    std::string trace_path;
+    /// Write a Prometheus text-format metrics dump here at the end of the
+    /// run. Requires level kCounters or kFull.
+    std::string metrics_path;
+  };
+  ObsOptions obs;
 };
 
 /// Output of one engine run.
@@ -136,6 +156,31 @@ struct EngineResult {
     int64_t new_records = 0;
   };
   DurabilityInfo durability;
+
+  /// What the observability layer recorded (all-default when
+  /// EngineOptions::obs.level was kDisabled). `counters` and `gauges` are
+  /// sorted by name; histograms appear flattened as `<name>_count` /
+  /// `<name>_sum` counter samples. The `crowdsky.*` and `journal.*`
+  /// counters are deterministic (the invariant auditor proves them equal
+  /// to the session/journal ledgers when auditing is on); `pool.*` values
+  /// and `trace_events` depend on scheduling and wall clock.
+  struct ObsInfo {
+    bool enabled = false;
+    bool tracing = false;
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    int64_t trace_events = 0;
+
+    /// The value of one counter sample, or -1 if absent (no counter in
+    /// the catalog can legitimately be negative).
+    int64_t CounterOr(const std::string& name, int64_t missing = -1) const {
+      for (const auto& [n, v] : counters) {
+        if (n == name) return v;
+      }
+      return missing;
+    }
+  };
+  ObsInfo obs;
 };
 
 /// The run-configuration fingerprint stamped into journals and

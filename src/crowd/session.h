@@ -36,6 +36,7 @@
 
 #include "crowd/oracle.h"
 #include "crowd/question.h"
+#include "obs/observer.h"
 #include "persist/journal.h"
 
 namespace crowdsky {
@@ -214,6 +215,18 @@ class CrowdSession {
   /// The configured question budget (negative = unlimited).
   int64_t question_budget() const { return budget_; }
 
+  // --- observability ----------------------------------------------------
+
+  /// Attaches the run's observer (not owned; must outlive the session) and
+  /// resolves all counter handles once, so the ask hot path only touches
+  /// pre-resolved (possibly null) pointers. The counters deliberately
+  /// mirror SessionStats through an independent increment path — the
+  /// invariant auditor cross-checks the two ledgers, so a missed or doubled
+  /// increment on either side is a detectable bug, not silent drift.
+  /// Call before RestoreFromJournal so replayed work is counted too.
+  void AttachObserver(obs::RunObserver* observer);
+  obs::RunObserver* observer() const { return obs_; }
+
   // --- durability -------------------------------------------------------
 
   /// Attaches the write-ahead answer journal. Not owned; must outlive the
@@ -274,6 +287,27 @@ class CrowdSession {
                         std::vector<persist::AttemptOutcome> attempts,
                         bool resolved, Answer answer);
 
+  /// Pre-resolved metric handles (all null when no observer is attached or
+  /// its level is kDisabled; obs::Add / obs::Observe are null-safe).
+  struct ObsHooks {
+    obs::Counter* pair_attempts = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* rounds = nullptr;
+    obs::Counter* unary_questions = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* degraded_quorum = nullptr;
+    obs::Counter* failed_attempts = nullptr;
+    obs::Counter* unresolved_questions = nullptr;
+    obs::Counter* backoff_rounds = nullptr;
+    obs::Counter* journal_records = nullptr;
+    obs::Counter* replayed_pair_attempts = nullptr;
+    obs::Counter* replayed_unary_questions = nullptr;
+    obs::Histogram* round_questions = nullptr;
+  };
+
+  /// Notes that a paid question opened the current round (trace only).
+  void NoteRoundActivity();
+
   CrowdOracle* oracle_;
   std::unordered_map<PairQuestion, Answer, PairQuestionHash> cache_;
   std::unordered_set<PairQuestion, PairQuestionHash> unresolved_;
@@ -289,6 +323,10 @@ class CrowdSession {
   int64_t journal_position_ = 0;
   int64_t replayed_pair_attempts_ = 0;
   int64_t replayed_unary_ = 0;
+  obs::RunObserver* obs_ = nullptr;
+  ObsHooks hooks_;
+  int64_t round_start_ns_ = -1;  ///< trace timestamp of the open round's
+                                 ///< first paid question; -1 = none
 };
 
 }  // namespace crowdsky

@@ -1,0 +1,147 @@
+// Metric primitives of the observability layer (src/obs): a thread-safe
+// registry of named counters, gauges and histograms.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  * the hot path is one relaxed atomic add on a pre-resolved pointer —
+//    callers resolve Counter*/Histogram* handles once (at attach time) and
+//    never touch the registry map again,
+//  * deterministic quantities only: counters mirror the session/journal
+//    ledgers (questions, rounds, retries, ...) and are bit-identical
+//    across runs of the same configuration; wall-clock timing lives in the
+//    trace collector (obs/trace.h), never in a counter,
+//  * exports are stable: samples are emitted sorted by name, so two runs
+//    of the same configuration produce byte-identical counter dumps.
+//
+// The registry hands out stable pointers (node-based map + unique_ptr), so
+// handles stay valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace crowdsky::obs {
+
+/// Monotonically increasing integer metric. All operations are relaxed
+/// atomics: counters never order other memory.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric (scraped quantities: cost in
+/// dollars, pool high-water marks, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed histogram of non-negative integers (round sizes,
+/// span durations in microseconds). Bucket i counts observations with
+/// value <= BucketBound(i); the last bucket is unbounded (+Inf).
+class Histogram {
+ public:
+  /// le bounds 1, 2, 4, ..., 2^19, +Inf.
+  static constexpr int kBuckets = 21;
+
+  void Observe(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Observations landing in bucket `i` (not cumulative).
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket `i`; the last bucket has no bound.
+  static int64_t BucketBound(int i) { return int64_t{1} << i; }
+  static int BucketIndex(int64_t value) {
+    for (int i = 0; i < kBuckets - 1; ++i) {
+      if (value <= BucketBound(i)) return i;
+    }
+    return kBuckets - 1;
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief Thread-safe find-or-create registry of named metrics.
+///
+/// Metric names are dotted lowercase ("crowdsky.rounds", "pool.steals").
+/// The registry owns its metrics; returned pointers stay valid for the
+/// registry's lifetime. A name may carry exactly one metric kind —
+/// re-registering it as a different kind is a programming error.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  CROWDSKY_DISALLOW_COPY(MetricRegistry);
+
+  Counter* FindOrCreateCounter(std::string_view name);
+  Gauge* FindOrCreateGauge(std::string_view name);
+  Histogram* FindOrCreateHistogram(std::string_view name);
+
+  /// The counter's current value, or 0 when no such counter exists.
+  int64_t CounterValue(std::string_view name) const;
+  /// True iff a counter with this exact name exists.
+  bool HasCounter(std::string_view name) const;
+
+  /// All counters as (name, value), sorted by name. Histograms are
+  /// flattened into "<name>_count" / "<name>_sum" entries so callers see
+  /// one uniform deterministic integer surface.
+  std::vector<std::pair<std::string, int64_t>> CounterSamples() const;
+  /// All gauges as (name, value), sorted by name.
+  std::vector<std::pair<std::string, double>> GaugeSamples() const;
+
+  /// Prometheus text exposition (one "# TYPE" line per metric, names
+  /// sanitized to [a-zA-Z0-9_], histograms with cumulative le buckets).
+  std::string PrometheusText() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Writes PrometheusText() to `path` (atomic enough for scrape files:
+/// plain truncate + write).
+Status WritePrometheusText(const std::string& path,
+                           const MetricRegistry& registry);
+
+/// No-op-on-null increment helpers: instrumented code holds Counter*
+/// handles that are null when observability is disabled, so the disabled
+/// hot path is a single predictable branch.
+inline void Add(Counter* counter, int64_t delta) {
+  if (counter != nullptr) counter->Add(delta);
+}
+inline void Observe(Histogram* histogram, int64_t value) {
+  if (histogram != nullptr) histogram->Observe(value);
+}
+
+}  // namespace crowdsky::obs

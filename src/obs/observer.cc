@@ -1,0 +1,17 @@
+#include "obs/observer.h"
+
+namespace crowdsky::obs {
+
+const char* ObsLevelName(ObsLevel level) {
+  switch (level) {
+    case ObsLevel::kDisabled:
+      return "disabled";
+    case ObsLevel::kCounters:
+      return "counters";
+    case ObsLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+}  // namespace crowdsky::obs

@@ -1,0 +1,75 @@
+// RunObserver: the per-run handle the engine threads through the session
+// and the drivers. It bundles the deterministic metric registry with the
+// (non-deterministic) trace collector under one observability level:
+//
+//   kDisabled  no registry access, no spans — instrumented code sees only
+//              null Counter* handles and default (no-op) TraceSpans, so
+//              the cost is one predictable branch per site,
+//   kCounters  counters/gauges/histograms collected, tracing off,
+//   kFull      counters plus TraceSpans (Chrome-trace exportable).
+//
+// Instrumented components resolve their Counter* handles once (at attach
+// time) via counter(); the hot path never touches the registry map.
+#pragma once
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace crowdsky::obs {
+
+/// How much the observability layer records.
+enum class ObsLevel {
+  kDisabled = 0,
+  kCounters = 1,
+  kFull = 2,
+};
+
+/// Stable display name ("disabled", "counters", "full").
+const char* ObsLevelName(ObsLevel level);
+
+/// \brief One run's observability state: level + metrics + trace.
+class RunObserver {
+ public:
+  explicit RunObserver(ObsLevel level) : level_(level) {}
+  CROWDSKY_DISALLOW_COPY(RunObserver);
+
+  ObsLevel level() const { return level_; }
+  bool counters_enabled() const { return level_ != ObsLevel::kDisabled; }
+  bool tracing_enabled() const { return level_ == ObsLevel::kFull; }
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  TraceCollector& trace() { return trace_; }
+  const TraceCollector& trace() const { return trace_; }
+
+  /// Handle resolution honoring the level: null when counters are off, so
+  /// instrumentation sites can use obs::Add / obs::Observe unconditionally.
+  Counter* counter(std::string_view name) {
+    return counters_enabled() ? metrics_.FindOrCreateCounter(name) : nullptr;
+  }
+  Histogram* histogram(std::string_view name) {
+    return counters_enabled() ? metrics_.FindOrCreateHistogram(name)
+                              : nullptr;
+  }
+  Gauge* gauge(std::string_view name) {
+    return counters_enabled() ? metrics_.FindOrCreateGauge(name) : nullptr;
+  }
+
+  /// A live span when tracing is on, a no-op span otherwise.
+  TraceSpan Span(const char* name) {
+    return tracing_enabled() ? TraceSpan(&trace_, name) : TraceSpan();
+  }
+
+ private:
+  ObsLevel level_;
+  MetricRegistry metrics_;
+  TraceCollector trace_;
+};
+
+/// Span helper for call sites holding a possibly-null observer.
+inline TraceSpan SpanIf(RunObserver* observer, const char* name) {
+  return observer != nullptr ? observer->Span(name) : TraceSpan();
+}
+
+}  // namespace crowdsky::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace crowdsky::obs {
+namespace {
+
+std::atomic<uint64_t> g_next_collector_id{1};  // NOLINT
+
+/// Per-thread cache of (collector id -> buffer). Collector ids are
+/// process-unique and never reused, so an entry for a destroyed collector
+/// is simply never looked up again (it costs a few bytes, bounded by the
+/// number of collectors this thread ever recorded into).
+struct TlsEntry {
+  uint64_t id;
+  void* buffer;
+};
+thread_local std::vector<TlsEntry> tls_buffers;  // NOLINT
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : id_(g_next_collector_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceCollector::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
+  for (const TlsEntry& entry : tls_buffers) {
+    if (entry.id == id_) return static_cast<ThreadBuffer*>(entry.buffer);
+  }
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  tls_buffers.push_back({id_, raw});
+  return raw;
+}
+
+void TraceCollector::Record(std::string name, int64_t start_ns,
+                            int64_t end_ns, std::string args_json) {
+  ThreadBuffer* buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = buffer->tid;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.args_json = std::move(args_json);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) {
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+int64_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  int64_t count = 0;
+  for (const auto& buffer : buffers_) {
+    count += static_cast<int64_t>(buffer->events.size());
+  }
+  return count;
+}
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (collector_ == nullptr) return;
+  if (!args_.empty()) args_ += ", ";
+  args_ += "\"";
+  args_ += key;
+  args_ += "\": " + std::to_string(value);
+}
+
+void TraceSpan::End() {
+  if (collector_ == nullptr) return;
+  collector_->Record(name_, start_ns_, collector_->NowNs(),
+                     std::move(args_));
+  collector_ = nullptr;
+}
+
+std::string ChromeTraceJson(const TraceCollector& collector) {
+  const std::vector<TraceEvent> events = collector.Snapshot();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"";
+    for (const char c : e.name) {  // span names are identifiers; escape
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\", \"cat\": \"crowdsky\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %u",
+                  e.tid);
+    out += buf;
+    out += ", \"args\": {" + e.args_json + "}}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const TraceCollector& collector) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace file '" + path +
+                           "' for writing");
+  }
+  out << ChromeTraceJson(collector);
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdsky::obs

@@ -1,0 +1,131 @@
+// Tracing side of the observability layer: RAII TraceSpans recording
+// steady-clock durations into lock-free per-thread buffers, exported as
+// Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
+//
+// Granularity (DESIGN.md "Observability"): run → phase → round → RPC.
+// The engine opens the "run" span, drivers open "phase.*" spans, and
+// CrowdSession records "crowd.round" events and "crowd.ask_*" RPC spans.
+// Nesting is expressed purely by timestamp containment on the same
+// thread, which is exactly how the Chrome trace viewer reconstructs the
+// hierarchy — a span object carries no parent pointer.
+//
+// Concurrency: each recording thread appends to its own buffer. The only
+// lock is taken once per (thread, collector) pair to register the buffer;
+// recording itself is a plain vector push_back with no synchronization.
+// Snapshot()/event_count() must therefore only run at quiescent points
+// (after the instrumented run finished), which is when exports happen.
+//
+// Everything in this header is wall-clock-derived and therefore
+// NON-deterministic. Deterministic observability lives in obs/metrics.h;
+// keeping the two apart is what lets the bit-identical determinism tests
+// run with tracing enabled counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace crowdsky::obs {
+
+/// One completed span, timestamped in nanoseconds since the collector's
+/// epoch (its construction time).
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;       ///< collector-local thread index, 0 = first
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  /// Preformatted JSON object body for the event's "args" field, e.g.
+  /// "\"questions\": 12". Empty = no args.
+  std::string args_json;
+};
+
+/// \brief Collects TraceEvents from any number of threads.
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector() = default;
+  CROWDSKY_DISALLOW_COPY(TraceCollector);
+
+  /// Nanoseconds since this collector's epoch (steady clock).
+  int64_t NowNs() const;
+
+  /// Records one completed event on the calling thread's buffer.
+  void Record(std::string name, int64_t start_ns, int64_t end_ns,
+              std::string args_json = {});
+
+  /// All events recorded so far, merged across threads and sorted by
+  /// (start, -duration) so parents precede their children. Quiescent
+  /// points only (see file comment).
+  std::vector<TraceEvent> Snapshot() const;
+  /// Total events recorded. Quiescent points only.
+  int64_t event_count() const;
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer* LocalBuffer();
+
+  const uint64_t id_;  ///< process-unique, never reused (tls cache key)
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: records [construction, End()/destruction) into a
+/// collector. A default-constructed span is a no-op — that is the entire
+/// disabled mode (see RunObserver::Span).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceCollector* collector, const char* name)
+      : collector_(collector), name_(name) {
+    if (collector_ != nullptr) start_ns_ = collector_->NowNs();
+  }
+  TraceSpan(TraceSpan&& other) noexcept { *this = std::move(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      collector_ = other.collector_;
+      name_ = other.name_;
+      start_ns_ = other.start_ns_;
+      args_ = std::move(other.args_);
+      other.collector_ = nullptr;
+    }
+    return *this;
+  }
+  CROWDSKY_DISALLOW_COPY(TraceSpan);
+  ~TraceSpan() { End(); }
+
+  /// Attaches an integer argument shown in the trace viewer. Must be
+  /// called before the span ends; no-op on a disabled span.
+  void AddArg(const char* key, int64_t value);
+
+  /// Records the span now (idempotent; the destructor calls it too).
+  void End();
+
+ private:
+  TraceCollector* collector_ = nullptr;
+  const char* name_ = "";
+  int64_t start_ns_ = 0;
+  std::string args_;
+};
+
+/// Serializes a snapshot as Chrome trace-event JSON ("X" complete events,
+/// microsecond timestamps, pid 1, one tid per recording thread).
+std::string ChromeTraceJson(const TraceCollector& collector);
+
+/// Writes ChromeTraceJson(collector) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const TraceCollector& collector);
+
+}  // namespace crowdsky::obs

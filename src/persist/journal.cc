@@ -196,8 +196,11 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::Create(
       new JournalWriter(path, fd, sync, /*existing=*/0));
   const std::string header = EncodeHeader(fingerprint);
   CROWDSKY_RETURN_NOT_OK(WriteAll(fd, header.data(), header.size()));
-  if (sync == SyncMode::kFsync && ::fdatasync(fd) != 0) {
-    return Status::IOError("journal fdatasync failed");
+  if (sync == SyncMode::kFsync) {
+    if (::fdatasync(fd) != 0) {
+      return Status::IOError("journal fdatasync failed");
+    }
+    ++writer->fsyncs_;
   }
   return writer;
 }
@@ -227,14 +230,18 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::OpenForAppend(
 }
 
 Status JournalWriter::WriteFrame(const std::string& frame) {
+  bytes_appended_ += static_cast<int64_t>(frame.size());
   if (sync_ == SyncMode::kBuffered) {
     buffer_ += frame;
     if (buffer_.size() >= kBufferFlushBytes) return FlushBuffer();
     return Status::OK();
   }
   CROWDSKY_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size()));
-  if (sync_ == SyncMode::kFsync && ::fdatasync(fd_) != 0) {
-    return Status::IOError("journal fdatasync failed");
+  if (sync_ == SyncMode::kFsync) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("journal fdatasync failed");
+    }
+    ++fsyncs_;
   }
   return Status::OK();
 }
@@ -267,8 +274,11 @@ Status JournalWriter::Append(const JournalRecord& record) {
 
 Status JournalWriter::Sync() {
   CROWDSKY_RETURN_NOT_OK(FlushBuffer());
-  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
-    return Status::IOError("journal fdatasync failed");
+  if (fd_ >= 0) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("journal fdatasync failed");
+    }
+    ++fsyncs_;
   }
   return Status::OK();
 }

@@ -134,6 +134,12 @@ class JournalWriter {
   int64_t records_appended() const { return appended_; }
   /// Records in the file: pre-existing (recovered) + appended.
   int64_t records_total() const { return existing_ + appended_; }
+  /// Record bytes appended by this writer (frames only; the header written
+  /// by Create is not counted). Deterministic for a given record stream.
+  int64_t bytes_appended() const { return bytes_appended_; }
+  /// fdatasync(2) calls issued by this writer (kFsync appends, explicit
+  /// Sync()s, and the header sync under kFsync).
+  int64_t fsyncs() const { return fsyncs_; }
 
  private:
   JournalWriter(std::string path, int fd, SyncMode sync, int64_t existing);
@@ -147,6 +153,8 @@ class JournalWriter {
   SyncMode sync_;
   int64_t existing_;
   int64_t appended_ = 0;
+  int64_t bytes_appended_ = 0;
+  int64_t fsyncs_ = 0;
   std::string buffer_;
   long kill_after_ = 0;
   long kill_tear_ = 0;

@@ -1,0 +1,162 @@
+// Metamorphic properties of the engine: transformations of the input with
+// a known effect on the output. Unlike the differential sweep (which needs
+// a brute-force reference), these relations hold by construction, so they
+// also cross-check the reference itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/crowdsky.h"
+
+namespace crowdsky {
+namespace {
+
+Dataset MakeData(int n, uint64_t seed, int num_crowd = 1) {
+  GeneratorOptions gen;
+  gen.cardinality = n;
+  gen.num_known = 3;
+  gen.num_crowd = num_crowd;
+  gen.seed = seed;
+  return GenerateDataset(gen).ValueOrDie();
+}
+
+EngineOptions PerfectOptions(Algorithm algorithm) {
+  EngineOptions options;
+  options.algorithm = algorithm;
+  options.oracle = OracleKind::kPerfect;
+  options.crowdsky.audit = true;
+  options.obs.level = obs::ObsLevel::kCounters;
+  return options;
+}
+
+/// Rebuilds a dataset from explicit rows (same schema).
+Dataset FromRows(const Schema& schema,
+                 std::vector<std::vector<double>> rows) {
+  return Dataset::Make(schema, std::move(rows)).ValueOrDie();
+}
+
+std::vector<std::vector<double>> Rows(const Dataset& ds) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<size_t>(ds.size()));
+  for (const Tuple& t : ds.tuples()) rows.push_back(t.values);
+  return rows;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<Algorithm> {};
+
+// Permuting the tuples permutes the skyline: membership is a property of
+// the tuple's values, never of its position in the relation.
+TEST_P(MetamorphicTest, PermutationInvariance) {
+  const Dataset base = MakeData(70, 21);
+  const auto base_run = RunSkylineQuery(base, PerfectOptions(GetParam()));
+  ASSERT_TRUE(base_run.ok());
+
+  // perm[new_id] = old_id, seeded shuffle.
+  std::vector<int> perm(static_cast<size_t>(base.size()));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(91);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  const std::vector<std::vector<double>> base_rows = Rows(base);
+  std::vector<std::vector<double>> shuffled;
+  shuffled.reserve(perm.size());
+  for (const int old_id : perm) {
+    shuffled.push_back(base_rows[static_cast<size_t>(old_id)]);
+  }
+  const Dataset permuted = FromRows(base.schema(), std::move(shuffled));
+  const auto perm_run =
+      RunSkylineQuery(permuted, PerfectOptions(GetParam()));
+  ASSERT_TRUE(perm_run.ok());
+
+  std::vector<int> mapped;
+  for (const int new_id : perm_run->algo.skyline) {
+    mapped.push_back(perm[static_cast<size_t>(new_id)]);
+  }
+  std::sort(mapped.begin(), mapped.end());
+  EXPECT_EQ(mapped, base_run->algo.skyline);
+}
+
+// Appending a tuple that every existing tuple dominates changes nothing:
+// the skyline is the same id set, and the loser is excluded.
+TEST_P(MetamorphicTest, UniversallyDominatedTupleIsFree) {
+  const Dataset base = MakeData(60, 33);
+  const auto base_run = RunSkylineQuery(base, PerfectOptions(GetParam()));
+  ASSERT_TRUE(base_run.ok());
+
+  // All-MIN schema: a row strictly worse than every value everywhere is
+  // dominated by every tuple, known attributes included.
+  std::vector<std::vector<double>> rows = Rows(base);
+  rows.emplace_back(
+      std::vector<double>(static_cast<size_t>(base.schema().num_attributes()),
+                          1e6));
+  const Dataset extended = FromRows(base.schema(), std::move(rows));
+  const auto ext_run =
+      RunSkylineQuery(extended, PerfectOptions(GetParam()));
+  ASSERT_TRUE(ext_run.ok());
+
+  EXPECT_EQ(ext_run->algo.skyline, base_run->algo.skyline);
+  EXPECT_FALSE(std::binary_search(ext_run->algo.skyline.begin(),
+                                  ext_run->algo.skyline.end(),
+                                  extended.size() - 1));
+}
+
+// An exact duplicate of an existing tuple cannot evict anyone: every
+// original skyline id is still in the skyline (equal tuples never dominate
+// each other), and the result still matches brute force.
+TEST_P(MetamorphicTest, ExactDuplicateKeepsOriginals) {
+  const Dataset base = MakeData(50, 47, 2);
+  const auto base_run = RunSkylineQuery(base, PerfectOptions(GetParam()));
+  ASSERT_TRUE(base_run.ok());
+
+  std::vector<std::vector<double>> rows = Rows(base);
+  rows.push_back(rows[0]);
+  const Dataset extended = FromRows(base.schema(), std::move(rows));
+  const auto ext_run =
+      RunSkylineQuery(extended, PerfectOptions(GetParam()));
+  ASSERT_TRUE(ext_run.ok());
+
+  EXPECT_EQ(ext_run->algo.skyline, ComputeGroundTruthSkyline(extended));
+  for (const int id : base_run->algo.skyline) {
+    EXPECT_TRUE(std::binary_search(ext_run->algo.skyline.begin(),
+                                   ext_run->algo.skyline.end(), id))
+        << "duplicate insertion evicted original skyline tuple " << id;
+  }
+}
+
+// The reported dollar cost is exactly the paper's AMT formula applied to
+// the reported per-round question counts — and the observability gauge
+// carries the same number.
+TEST_P(MetamorphicTest, CostMatchesAmtFormula) {
+  const Dataset base = MakeData(80, 55);
+  EngineOptions options = PerfectOptions(GetParam());
+  const auto r = RunSkylineQuery(base, options);
+  ASSERT_TRUE(r.ok());
+
+  const AmtCostModel& model = options.cost_model;
+  int64_t hits = 0;
+  for (const int64_t q : r->algo.questions_per_round) {
+    hits += (q + model.questions_per_hit - 1) / model.questions_per_hit;
+  }
+  EXPECT_DOUBLE_EQ(r->cost_usd, model.reward_per_hit *
+                                    model.workers_per_question *
+                                    static_cast<double>(hits));
+  EXPECT_EQ(r->obs.CounterOr("crowdsky.hits_paid"), hits);
+  double gauge = -1.0;
+  for (const auto& [name, value] : r->obs.gauges) {
+    if (name == "crowdsky.cost_usd") gauge = value;
+  }
+  EXPECT_DOUBLE_EQ(gauge, r->cost_usd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDrivers, MetamorphicTest,
+    ::testing::Values(Algorithm::kCrowdSkySerial, Algorithm::kParallelDSet,
+                      Algorithm::kParallelSL),
+    [](const auto& pinfo) { return AlgorithmName(pinfo.param); });
+
+}  // namespace
+}  // namespace crowdsky

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/temp_dir.h"
+
+namespace crowdsky::obs {
+namespace {
+
+TEST(TraceSpanTest, DefaultConstructedIsNoOp) {
+  {
+    TraceSpan span;           // disabled-mode span: no collector
+    span.AddArg("ignored", 1);
+    span.End();
+    span.End();               // idempotent
+  }
+  SUCCEED();
+}
+
+TEST(TraceSpanTest, RecordsOneEventWithDuration) {
+  TraceCollector collector;
+  {
+    TraceSpan span(&collector, "work");
+    span.AddArg("items", 42);
+  }
+  const std::vector<TraceEvent> events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].start_ns, 0);
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].args_json, "\"items\": 42");
+}
+
+TEST(TraceSpanTest, ExplicitEndStopsTheClock) {
+  TraceCollector collector;
+  TraceSpan span(&collector, "early");
+  span.End();
+  EXPECT_EQ(collector.event_count(), 1);
+  span.End();  // second End records nothing
+  EXPECT_EQ(collector.event_count(), 1);
+}
+
+TEST(TraceSpanTest, MoveTransfersOwnership) {
+  TraceCollector collector;
+  {
+    TraceSpan outer;
+    {
+      TraceSpan inner(&collector, "moved");
+      outer = std::move(inner);
+    }  // inner destroyed moved-from: no event yet
+    EXPECT_EQ(collector.event_count(), 0);
+  }
+  EXPECT_EQ(collector.event_count(), 1);
+}
+
+TEST(TraceCollectorTest, NestedSpansOrderedByStart) {
+  TraceCollector collector;
+  {
+    TraceSpan run(&collector, "run");
+    {
+      TraceSpan phase(&collector, "phase");
+      TraceSpan rpc(&collector, "rpc");
+    }
+  }
+  const std::vector<TraceEvent> events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by (start, -dur): the enclosing span comes first.
+  EXPECT_EQ(events[0].name, "run");
+  EXPECT_GE(events[0].dur_ns, events[1].dur_ns);
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[1].start_ns, events[2].start_ns);
+}
+
+TEST(TraceCollectorTest, PerThreadBuffersGetDistinctTids) {
+  TraceCollector collector;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < 100; ++i) {
+        TraceSpan span(&collector, "threaded");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(collector.event_count(), 400);
+  const std::vector<TraceEvent> events = collector.Snapshot();
+  bool multiple_tids = false;
+  for (const TraceEvent& e : events) {
+    if (e.tid != events[0].tid) multiple_tids = true;
+  }
+  EXPECT_TRUE(multiple_tids);
+}
+
+TEST(TraceCollectorTest, TwoCollectorsOnOneThreadDoNotMix) {
+  TraceCollector a;
+  TraceCollector b;
+  { TraceSpan span(&a, "into_a"); }
+  { TraceSpan span(&b, "into_b"); }
+  { TraceSpan span(&a, "into_a"); }
+  EXPECT_EQ(a.event_count(), 2);
+  EXPECT_EQ(b.event_count(), 1);
+}
+
+TEST(ChromeTraceJsonTest, EmitsCompleteEvents) {
+  TraceCollector collector;
+  {
+    TraceSpan span(&collector, "algorithm");
+    span.AddArg("n", 10);
+  }
+  const std::string json = ChromeTraceJson(collector);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"algorithm\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"n\": 10}"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EscapesNames) {
+  TraceCollector collector;
+  collector.Record("quo\"te\\slash", 0, 10, "");
+  const std::string json = ChromeTraceJson(collector);
+  EXPECT_NE(json.find("quo\\\"te\\\\slash"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyCollectorIsValidJson) {
+  TraceCollector collector;
+  const std::string json = ChromeTraceJson(collector);
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST(WriteChromeTraceTest, WritesFile) {
+  TraceCollector collector;
+  { TraceSpan span(&collector, "io"); }
+  const std::string path = crowdsky::testing::FreshTempPath("trace.json");
+  ASSERT_TRUE(WriteChromeTrace(path, collector).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, ChromeTraceJson(collector));
+}
+
+TEST(WriteChromeTraceTest, FailsOnBadPath) {
+  TraceCollector collector;
+  EXPECT_FALSE(
+      WriteChromeTrace("/nonexistent-dir/x/trace.json", collector).ok());
+}
+
+}  // namespace
+}  // namespace crowdsky::obs

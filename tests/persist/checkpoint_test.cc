@@ -6,13 +6,13 @@
 #include <fstream>
 #include <string>
 
+#include "testing/temp_dir.h"
+
 namespace crowdsky::persist {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  const std::string path = ::testing::TempDir() + "/" + name;
-  std::filesystem::remove(path);
-  return path;
+  return crowdsky::testing::FreshTempPath(name);
 }
 
 CheckpointData Sample() {

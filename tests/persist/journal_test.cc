@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "testing/temp_dir.h"
+
 namespace crowdsky::persist {
 namespace {
 
@@ -15,9 +17,7 @@ constexpr uint64_t kFingerprint = 0x5eedf00dcafe1234ULL;
 constexpr int64_t kHeaderBytes = 24;
 
 std::string TempPath(const std::string& name) {
-  const std::string path = ::testing::TempDir() + "/" + name;
-  std::filesystem::remove(path);
-  return path;
+  return crowdsky::testing::FreshTempPath(name);
 }
 
 JournalRecord PairRecord(int attr, int first, int second, bool resolved) {

@@ -27,6 +27,7 @@
 #include "common/random.h"
 #include "core/engine.h"
 #include "data/generator.h"
+#include "testing/temp_dir.h"
 
 namespace crowdsky {
 
@@ -168,18 +169,7 @@ ChildRun RunChild(const std::string& algo, const std::string& dir,
 // keeps concurrent instances (e.g. sl vs sl_faulty, which share the
 // algo string) from stomping each other's journals.
 std::string FreshDir(const std::string& name) {
-  std::string unique = name;
-  if (const ::testing::TestInfo* info =
-          ::testing::UnitTest::GetInstance()->current_test_info()) {
-    unique += std::string("_") + info->test_suite_name() + "_" +
-              info->name();
-  }
-  for (char& c : unique) {
-    if (c == '/') c = '_';
-  }
-  const std::string dir = ::testing::TempDir() + "/" + unique;
-  std::filesystem::remove_all(dir);
-  return dir;
+  return crowdsky::testing::FreshTempDir(name);
 }
 
 /// `count` distinct seeded kill offsets in [1, records - 1].

@@ -16,6 +16,7 @@
 #include "data/generator.h"
 #include "persist/checkpoint.h"
 #include "persist/journal.h"
+#include "testing/temp_dir.h"
 
 namespace crowdsky {
 namespace {
@@ -33,18 +34,7 @@ Dataset SmallDataset(uint64_t seed = 3) {
 // parallel; folding the running test's unique name into the directory
 // keeps concurrent instances from stomping each other's journals.
 std::string FreshDir(const std::string& name) {
-  std::string unique = name;
-  if (const ::testing::TestInfo* info =
-          ::testing::UnitTest::GetInstance()->current_test_info()) {
-    unique += std::string("_") + info->test_suite_name() + "_" +
-              info->name();
-  }
-  for (char& c : unique) {
-    if (c == '/') c = '_';
-  }
-  const std::string dir = ::testing::TempDir() + "/" + unique;
-  std::filesystem::remove_all(dir);
-  return dir;
+  return crowdsky::testing::FreshTempDir(name);
 }
 
 EngineOptions DurableOptions(Algorithm algo, const std::string& dir,

@@ -1,0 +1,48 @@
+// Shared per-test temp-path helpers. Every test that touches the
+// filesystem previously carried its own copy of these; they live here so a
+// name collision between two tests (or two parameterized instances of one)
+// cannot silently share state through a stale file.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace crowdsky::testing {
+
+/// `name` made unique per running test by appending the gtest suite and
+/// test name (parameterized instances included), with '/' sanitized.
+inline std::string UniqueTestName(const std::string& name) {
+  std::string unique = name;
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    unique += std::string("_") + info->test_suite_name() + "_" +
+              info->name();
+  }
+  for (char& c : unique) {
+    if (c == '/') c = '_';
+  }
+  return unique;
+}
+
+/// A per-test temp *directory* path, guaranteed not to exist on return
+/// (anything left by a previous run is removed). Not created — callers
+/// that need it existing create it themselves, matching code under test
+/// that expects to create its own directory.
+inline std::string FreshTempDir(const std::string& name) {
+  const std::string dir =
+      ::testing::TempDir() + "/" + UniqueTestName(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A per-test temp *file* path, guaranteed not to exist on return.
+inline std::string FreshTempPath(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "/" + UniqueTestName(name);
+  std::filesystem::remove(path);
+  return path;
+}
+
+}  // namespace crowdsky::testing
