@@ -15,8 +15,8 @@
 
 namespace {
 
-using namespace crowdsky;        // NOLINT
-using namespace crowdsky::bench; // NOLINT
+using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
 
 Dataset Make(int n, int dk, int mc, uint64_t seed,
              DataDistribution dist = DataDistribution::kIndependent) {

@@ -8,8 +8,8 @@
 #include "core/crowdsky.h"
 
 int main() {
-  using namespace crowdsky;        // NOLINT
-  using namespace crowdsky::bench; // NOLINT
+  using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+  using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
   JsonReportScope report("fig11_accuracy_comparison");
   const int runs = Runs() * 2;
   std::printf(

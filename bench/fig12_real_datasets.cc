@@ -11,8 +11,8 @@
 
 namespace {
 
-using namespace crowdsky;        // NOLINT
-using namespace crowdsky::bench; // NOLINT
+using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
 
 EngineOptions Options(Algorithm algo, uint64_t seed) {
   EngineOptions opt;

@@ -2,8 +2,8 @@
 #include "rounds_sweep.h"
 
 int main() {
-  using namespace crowdsky;        // NOLINT
-  using namespace crowdsky::bench; // NOLINT
+  using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+  using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
   JsonReportScope report("fig8_rounds_cardinality");
   std::printf("Figure 8: number of rounds over varying cardinality\n");
   std::printf("(averaged over %d runs; CROWDSKY_BENCH_SCALE=%.2f)\n", Runs(),

@@ -24,8 +24,8 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
-  using namespace crowdsky;         // NOLINT
-  using namespace crowdsky::bench;  // NOLINT
+  using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+  using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
   JsonReportScope report("observability");
   const int runs = Runs();
   const int card = Scaled(400);

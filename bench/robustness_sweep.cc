@@ -27,8 +27,8 @@ crowdsky::FaultPlan PlanFor(double rate) {
 }  // namespace
 
 int main() {
-  using namespace crowdsky;         // NOLINT
-  using namespace crowdsky::bench;  // NOLINT
+  using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+  using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
   JsonReportScope report("robustness");
   const int runs = Runs();
   const int card = Scaled(300);

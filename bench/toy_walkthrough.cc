@@ -8,7 +8,7 @@
 
 namespace {
 
-using namespace crowdsky;  // NOLINT
+using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
 
 std::string LabelSet(const Dataset& ds, const std::vector<int>& ids) {
   std::string out = "{";

@@ -1,0 +1,659 @@
+#!/usr/bin/env python3
+"""CrowdSky project linter: determinism & concurrency law as named rules.
+
+The paper reproduction's guarantees — bit-identical runs at any thread
+count, crash-exact resume, a cost ledger audited to the cent — die by a
+thousand innocent-looking cuts: an unseeded RNG here, a wall-clock read
+there, a hash-map iteration feeding an export. clang-tidy cannot express
+these project-specific contracts, and the default CI image has no clang at
+all, so this linter encodes them as ~10 plain-text rules that run anywhere
+python3 runs.
+
+Driven by compile_commands.json (the same database clang-tidy uses): the
+translation units under the scanned roots come from the database — and a
+database entry whose file no longer exists on disk is a hard error, not a
+silent skip — plus every header found under those roots.
+
+Usage:
+  crowdsky_lint.py [--build-dir DIR | --compile-commands PATH]
+                   [--roots DIR ...] [--files FILE ...]
+                   [--allowlist PATH | --no-allowlist]
+                   [--only RULE[,RULE...]] [--list-rules]
+                   [--strict] [--format text|json] [--fixture-mode]
+
+Exit codes: 0 clean, 1 violations, 2 usage/config error, 3 stale
+compile_commands entries.
+
+Suppressions live in the allowlist file (default
+scripts/lint_allowlist.txt), one per line:
+
+  CS-ORD003 src/crowd/session.h  # sorted immediately after collection
+
+The justification after '#' is mandatory, and --strict fails on allowlist
+entries that no longer suppress anything (stale suppressions rot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Returns `text` with comments, string and char literals blanked out
+    (replaced by spaces), preserving line structure so match offsets still
+    map to the original line numbers. Rules that inspect *code* run on this
+    view; CS-NOL007 inspects the raw text (NOLINT lives in comments)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # R"(...)" raw strings: skip to the matching delimiter.
+                if out and out[-1] == "R":
+                    m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
+                    if m:
+                        delim = ")" + m.group(1) + '"'
+                        end = text.find(delim, i)
+                        end = n if end < 0 else end + len(delim)
+                        out.append(" " * (end - i))
+                        i = end
+                        continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Rule machinery
+# --------------------------------------------------------------------------
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+
+
+@dataclass
+class Rule:
+    rule_id: str
+    title: str
+    hint: str
+    # Path predicates, on repo-relative forward-slash paths.
+    applies: "callable"
+    check: "callable"  # (rule, path, raw, code) -> list[Finding]
+
+
+def in_src(path: str) -> bool:
+    return path.startswith("src/")
+
+
+def _findall_lines(pattern: re.Pattern, code: str):
+    for m in pattern.finditer(code):
+        yield m, line_of(code, m.start())
+
+
+# --- CS-RNG001 ------------------------------------------------------------
+
+RNG_PATTERN = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937(?:_64)?\b"
+    r"|\bdefault_random_engine\b|\bminstd_rand0?\b")
+
+
+def check_rng(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line,
+                    f"stdlib RNG '{m.group(0).strip()}'")
+            for m, line in _findall_lines(RNG_PATTERN, code)]
+
+
+# --- CS-CLK002 ------------------------------------------------------------
+
+CLOCK_PATTERN = re.compile(
+    r"\bsystem_clock\b|\bgettimeofday\s*\(|\bclock\s*\(\s*\)"
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|\blocaltime\b|\bgmtime\b|\bstrftime\b")
+
+
+def check_clock(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line,
+                    f"wall-clock source '{m.group(0).strip()}'")
+            for m, line in _findall_lines(CLOCK_PATTERN, code)]
+
+
+# --- CS-ORD003 ------------------------------------------------------------
+
+UNORDERED_DECL = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+IDENT_AFTER = re.compile(r"\s*(\w+)\s*[;={(,)]")
+
+
+def unordered_names(code: str):
+    """Names declared (members, locals, params) with an unordered type in
+    this file. Parses past the template argument list by depth-counting."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(code):
+        i = code.find("<", m.end())
+        if i < 0 or code[m.end():i].strip():
+            continue
+        depth, i = 1, i + 1
+        while i < len(code) and depth:
+            depth += {"<": 1, ">": -1}.get(code[i], 0)
+            i += 1
+        # Skip refs/pointers between the closing '>' and the name.
+        j = i
+        while j < len(code) and code[j] in " &*\n\t":
+            j += 1
+        ident = re.match(r"(\w+)\s*[;={(]", code[j:])
+        if ident and ident.group(1) not in ("const",):
+            names.add(ident.group(1))
+    return names
+
+
+def check_unordered_iter(rule: Rule, path: str, raw: str, code: str):
+    findings = []
+    names = unordered_names(code)
+    for name in sorted(names):
+        for pat, what in (
+            (re.compile(r"for\s*\([^;)]*:\s*(?:this->)?" + re.escape(name)
+                        + r"\s*\)"), "range-for over"),
+            (re.compile(r"\b" + re.escape(name) + r"\.c?begin\s*\("),
+             "iterator over"),
+        ):
+            for m, line in _findall_lines(pat, code):
+                findings.append(Finding(
+                    rule.rule_id, path, line,
+                    f"{what} unordered container '{name}'"))
+    return findings
+
+
+# --- CS-MTX004 ------------------------------------------------------------
+
+MUTEX_MEMBER = re.compile(
+    r"\b(?:crowdsky::)?Mutex\s+(\w+)\s*;|\bstd::mutex\s+(\w+)\s*;")
+ANNOTATION_USES = (
+    "CROWDSKY_GUARDED_BY", "CROWDSKY_PT_GUARDED_BY", "CROWDSKY_REQUIRES",
+    "CROWDSKY_ACQUIRE", "CROWDSKY_RELEASE", "CROWDSKY_EXCLUDES",
+    "CROWDSKY_TRY_ACQUIRE", "CROWDSKY_ASSERT_CAPABILITY",
+    "CROWDSKY_RETURN_CAPABILITY")
+
+
+def check_mutex_annotated(rule: Rule, path: str, raw: str, code: str):
+    findings = []
+    for m in MUTEX_MEMBER.finditer(code):
+        name = m.group(1) or m.group(2)
+        line = line_of(code, m.start())
+        used = re.compile(
+            r"\bCROWDSKY_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|"
+            r"RELEASE|EXCLUDES|TRY_ACQUIRE|ASSERT_CAPABILITY|"
+            r"RETURN_CAPABILITY)\s*\([^)]*\b" + re.escape(name) + r"\b")
+        if not used.search(code):
+            findings.append(Finding(
+                rule.rule_id, path, line,
+                f"mutex '{name}' has no CROWDSKY_GUARDED_BY/REQUIRES "
+                "annotation naming it in this file"))
+    return findings
+
+
+# --- CS-MTX005 / CS-LCK006 ------------------------------------------------
+
+RAW_SYNC = re.compile(
+    r"\bstd::mutex\b|\bstd::recursive_mutex\b|\bstd::shared_mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b|\bstd::timed_mutex\b")
+RAW_LOCK = re.compile(
+    r"\bstd::lock_guard\b|\bstd::unique_lock\b|\bstd::scoped_lock\b"
+    r"|\bstd::shared_lock\b")
+
+
+def check_raw_sync(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line,
+                    f"raw '{m.group(0)}' (invisible to -Wthread-safety)")
+            for m, line in _findall_lines(RAW_SYNC, code)]
+
+
+def check_raw_lock(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line, f"raw '{m.group(0)}'")
+            for m, line in _findall_lines(RAW_LOCK, code)]
+
+
+# --- CS-NOL007 ------------------------------------------------------------
+
+NOLINT_TOKEN = re.compile(
+    r"NOLINT(?:NEXTLINE|BEGIN|END)?(?P<qual>\([^)\n]*\))?")
+
+
+def check_nolint(rule: Rule, path: str, raw: str, code: str):
+    findings = []
+    lines = raw.splitlines()
+    for idx, text in enumerate(lines):
+        for m in NOLINT_TOKEN.finditer(text):
+            if "expect-lint" in text:
+                continue  # fixture expectation directives, not suppressions
+            qual = m.group("qual")
+            line = idx + 1
+            if not qual or not qual.strip("() \t"):
+                findings.append(Finding(
+                    rule.rule_id, path, line,
+                    "naked NOLINT (no (check-name) qualifier)"))
+                continue
+            trailing = text[m.end():].strip(" :.-")
+            prev = lines[idx - 1].strip() if idx else ""
+            has_rationale = (len(re.sub(r"\W", "", trailing)) >= 3
+                             or prev.startswith("//"))
+            if not has_rationale:
+                findings.append(Finding(
+                    rule.rule_id, path, line,
+                    f"NOLINT{qual} carries no rationale"))
+            if "NOLINTNEXTLINE" in m.group(0):
+                after = lines[idx + 1].strip() if idx + 1 < len(lines) else ""
+                if after.startswith("//") or after.startswith("/*"):
+                    findings.append(Finding(
+                        rule.rule_id, path, line,
+                        "NOLINTNEXTLINE is followed by a comment, so the "
+                        "suppression never reaches the code: make it the "
+                        "last comment line before the statement"))
+    return findings
+
+
+# --- CS-IOS008 ------------------------------------------------------------
+
+IOSTREAM_INCLUDE = re.compile(r"#\s*include\s*<iostream>")
+
+
+def check_iostream(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line, "#include <iostream>")
+            for m, line in _findall_lines(IOSTREAM_INCLUDE, code)]
+
+
+# --- CS-FLT009 ------------------------------------------------------------
+
+FLOAT_DECL = re.compile(r"\b(?:float|double)\s+(\w+)\s*[;={]")
+
+
+def check_float_accumulation(rule: Rule, path: str, raw: str, code: str):
+    findings = []
+    for name in sorted({m.group(1) for m in FLOAT_DECL.finditer(code)}):
+        pat = re.compile(r"\b" + re.escape(name) + r"\s*[+\-*/]=")
+        for m, line in _findall_lines(pat, code):
+            findings.append(Finding(
+                rule.rule_id, path, line,
+                f"floating-point accumulation into '{name}'"))
+    return findings
+
+
+# --- CS-THR010 ------------------------------------------------------------
+
+RAW_THREAD = re.compile(
+    r"\bstd::thread\b|\bstd::jthread\b|\bpthread_create\s*\(")
+
+
+def check_raw_thread(rule: Rule, path: str, raw: str, code: str):
+    return [Finding(rule.rule_id, path, line, f"raw '{m.group(0).strip()}'")
+            for m, line in _findall_lines(RAW_THREAD, code)]
+
+
+# --------------------------------------------------------------------------
+# The rule catalog
+# --------------------------------------------------------------------------
+
+def _src_except(*exceptions):
+    def applies(path: str) -> bool:
+        return in_src(path) and path not in exceptions
+    return applies
+
+
+def _ledger_files(path: str) -> bool:
+    if path == "src/crowd/cost_model.h":
+        return False  # the one place dollar arithmetic is allowed
+    return (path.startswith("src/audit/") or path.startswith("src/persist/")
+            or path.startswith("src/crowd/session."))
+
+
+def _everywhere(path: str) -> bool:
+    return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+
+RULES = [
+    Rule("CS-RNG001",
+         "stdlib RNG outside common/random.h",
+         "seed a crowdsky::Rng (common/random.h) from the run "
+         "configuration; unseeded stdlib generators break replay",
+         _src_except("src/common/random.h"), check_rng),
+    Rule("CS-CLK002",
+         "wall-clock source outside obs/trace",
+         "wall-clock belongs to the trace collector; deterministic code "
+         "derives time from rounds and ledgers, never from the host clock",
+         _src_except("src/obs/trace.h", "src/obs/trace.cc"), check_clock),
+    Rule("CS-ORD003",
+         "iteration over an unordered container",
+         "hash iteration order is seed-dependent and leaks into results, "
+         "journals and exports: sort the keys first or use std::map",
+         in_src, check_unordered_iter),
+    Rule("CS-MTX004",
+         "mutex member without a capability annotation",
+         "state what the mutex guards: member CROWDSKY_GUARDED_BY(<mutex>) "
+         "or function CROWDSKY_REQUIRES(<mutex>) (common/thread_annotations.h)",
+         _src_except("src/common/mutex.h"), check_mutex_annotated),
+    Rule("CS-MTX005",
+         "raw std::mutex / std::condition_variable",
+         "use crowdsky::Mutex / CondVar (common/mutex.h); the std types "
+         "carry no capability annotations, so -Wthread-safety cannot see "
+         "what they protect",
+         _src_except("src/common/mutex.h"), check_raw_sync),
+    Rule("CS-LCK006",
+         "raw std::lock_guard / std::unique_lock",
+         "use crowdsky::MutexLock (common/mutex.h) so the acquisition is "
+         "visible to the thread-safety analysis",
+         _src_except("src/common/mutex.h"), check_raw_lock),
+    Rule("CS-NOL007",
+         "unqualified or rationale-free NOLINT",
+         "write '// NOLINT(<check-name>): <why this finding is wrong "
+         "here>' — a suppression nobody can audit is a latent bug",
+         _everywhere, check_nolint),
+    Rule("CS-IOS008",
+         "#include <iostream> in library code",
+         "library code reports through Status/logging.h; <iostream> drags "
+         "in global constructors and static destruction order",
+         in_src, check_iostream),
+    Rule("CS-FLT009",
+         "floating-point accumulation in ledger code",
+         "ledgers count integers (questions, HITs, records); dollars are "
+         "computed once, in AmtCostModel (crowd/cost_model.h)",
+         _ledger_files, check_float_accumulation),
+    Rule("CS-THR010",
+         "raw thread creation outside the pool",
+         "all parallelism flows through ThreadPool (work stealing, "
+         "deterministic threads=1 fallback); raw threads bypass both",
+         _src_except("src/common/thread_pool.h", "src/common/thread_pool.cc"),
+         check_raw_thread),
+]
+
+RULES_BY_ID = {r.rule_id: r for r in RULES}
+
+
+# --------------------------------------------------------------------------
+# Allowlist
+# --------------------------------------------------------------------------
+
+@dataclass
+class AllowEntry:
+    rule: str
+    path: str
+    justification: str
+    lineno: int
+    used: int = 0
+
+
+def parse_allowlist(path: str):
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = re.match(r"(\S+)\s+(\S+)\s*#\s*(.+)$", line)
+            if not m:
+                raise SystemExit(
+                    f"error: {path}:{lineno}: allowlist entries are "
+                    "'RULE-ID path  # justification' (justification "
+                    "mandatory)")
+            rule, target, why = m.groups()
+            if rule not in RULES_BY_ID:
+                raise SystemExit(
+                    f"error: {path}:{lineno}: unknown rule id '{rule}'")
+            entries.append(AllowEntry(rule, target, why.strip(), lineno))
+    return entries
+
+
+# --------------------------------------------------------------------------
+# File discovery
+# --------------------------------------------------------------------------
+
+def files_from_compile_commands(db_path: str, repo_root: str, roots):
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"error: cannot read {db_path}: {e}")
+    prefixes = tuple(os.path.join(repo_root, r) + os.sep for r in roots)
+    wanted, stale = [], []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        if not path.startswith(prefixes):
+            continue
+        if not os.path.exists(path):
+            stale.append(path)
+        elif path not in wanted:
+            wanted.append(path)
+    if stale:
+        print(f"error: {db_path} lists {len(stale)} file(s) that no longer "
+              "exist on disk (stale database — re-run cmake):",
+              file=sys.stderr)
+        for p in stale:
+            print(f"  {p}", file=sys.stderr)
+        sys.exit(3)
+    for root in roots:
+        for ext in ("h", "hpp", "inl"):
+            pattern = os.path.join(repo_root, root, "**", f"*.{ext}")
+            for p in sorted(glob.glob(pattern, recursive=True)):
+                if p not in wanted:
+                    wanted.append(p)
+    return wanted
+
+
+FIXTURE_PATH_DIRECTIVE = re.compile(r"//\s*lint-path:\s*(\S+)")
+
+
+def lint_file(abs_path: str, rel_path: str, rules, fixture_mode: bool):
+    try:
+        with open(abs_path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {abs_path}: {e}")
+    if fixture_mode:
+        for line in raw.splitlines()[:10]:
+            m = FIXTURE_PATH_DIRECTIVE.search(line)
+            if m:
+                rel_path = m.group(1)
+                break
+    code = strip_comments_and_strings(raw)
+    findings = []
+    for rule in rules:
+        if rule.applies(rel_path):
+            findings.extend(rule.check(rule, rel_path, raw, code))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Main
+# --------------------------------------------------------------------------
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo-root", default=None)
+    parser.add_argument("--build-dir", default=None)
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--roots", nargs="*", default=["src"])
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="lint exactly these files (skips the database)")
+    parser.add_argument("--allowlist", default=None)
+    parser.add_argument("--no-allowlist", action="store_true")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on unused allowlist entries")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--fixture-mode", action="store_true",
+                        help="honor '// lint-path:' directives (test "
+                             "fixtures only)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"           fix: {rule.hint}")
+        return 0
+
+    rules = RULES
+    if args.only:
+        chosen = [s.strip() for s in args.only.split(",") if s.strip()]
+        unknown = [s for s in chosen if s not in RULES_BY_ID]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}; "
+                  "run with --list-rules to see the catalog",
+                  file=sys.stderr)
+            return 2
+        rules = [RULES_BY_ID[s] for s in chosen]
+
+    repo_root = os.path.abspath(
+        args.repo_root
+        or os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+
+    if args.files is not None:
+        targets = [os.path.abspath(f) for f in args.files]
+        missing = [t for t in targets if not os.path.exists(t)]
+        if missing:
+            print("error: no such file(s): " + ", ".join(missing),
+                  file=sys.stderr)
+            return 2
+    else:
+        db = args.compile_commands
+        if db is None:
+            candidates = ([args.build_dir] if args.build_dir else
+                          ["build", "build/release", "build/asan-ubsan"])
+            for c in candidates:
+                probe = os.path.join(repo_root, c, "compile_commands.json")
+                if os.path.exists(probe):
+                    db = probe
+                    break
+            if db is None:
+                print("error: no compile_commands.json found; configure "
+                      "first (e.g. cmake --preset release) or pass "
+                      "--compile-commands", file=sys.stderr)
+                return 2
+        targets = files_from_compile_commands(db, repo_root, args.roots)
+
+    allow = []
+    if not args.no_allowlist and args.files is None:
+        allow_path = args.allowlist or os.path.join(
+            repo_root, "scripts", "lint_allowlist.txt")
+        if os.path.exists(allow_path):
+            allow = parse_allowlist(allow_path)
+    elif args.allowlist:
+        allow = parse_allowlist(args.allowlist)
+
+    findings = []
+    for abs_path in targets:
+        rel = os.path.relpath(abs_path, repo_root).replace(os.sep, "/")
+        findings.extend(lint_file(abs_path, rel, rules, args.fixture_mode))
+
+    kept = []
+    for f in findings:
+        suppressed = False
+        for entry in allow:
+            if entry.rule == f.rule and entry.path == f.path:
+                entry.used += 1
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    unused = [e for e in allow if e.used == 0]
+
+    if args.format == "json":
+        print(json.dumps(
+            {"findings": [vars(f) for f in kept],
+             "suppressed": sum(e.used for e in allow),
+             "unused_allowlist_entries": [
+                 f"{e.rule} {e.path}" for e in unused]},
+            indent=2))
+    else:
+        for f in kept:
+            rule = RULES_BY_ID[f.rule]
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+            print(f"    fix: {rule.hint}")
+        suppressed_total = sum(e.used for e in allow)
+        summary = (f"crowdsky_lint: {len(targets)} file(s), "
+                   f"{len(kept)} violation(s), {suppressed_total} "
+                   f"allowlisted")
+        print(summary if not kept else summary, file=sys.stderr)
+        for e in unused:
+            print(f"warning: unused allowlist entry ({e.rule} {e.path}) — "
+                  "remove it", file=sys.stderr)
+
+    if kept:
+        return 1
+    if args.strict and unused:
+        print("error: --strict: stale allowlist entries", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

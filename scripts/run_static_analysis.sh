@@ -1,23 +1,60 @@
 #!/usr/bin/env bash
-# Static-analysis driver for CrowdSky.
+# Static-analysis driver for CrowdSky. Two prongs, both gating:
 #
-# Runs clang-tidy (config: repo-root .clang-tidy) over every translation
-# unit in compile_commands.json that lives under the requested source
-# directories. When clang-tidy is not installed -- the default CI image
-# only ships gcc -- it degrades to a strict `g++ -fsyntax-only` replay of
-# the same compilation database so the script still gates on real
-# front-end diagnostics instead of silently passing.
+#   1. clang-tidy (config: repo-root .clang-tidy) over every translation
+#      unit in compile_commands.json under the requested source
+#      directories. When clang-tidy is not installed -- the default CI
+#      image only ships gcc -- it degrades to a strict `g++ -fsyntax-only`
+#      replay of the same compilation database so the script still gates
+#      on real front-end diagnostics instead of silently passing.
+#   2. scripts/crowdsky_lint.py --strict: the project-law linter
+#      (determinism, lock discipline, NOLINT hygiene; CS-* rule ids).
+#
+# A compile_commands.json entry whose file no longer exists on disk is a
+# hard error (exit 3): a stale database silently analyzes the wrong tree.
 #
 # Usage:
-#   scripts/run_static_analysis.sh [build-dir] [dir ...]
+#   scripts/run_static_analysis.sh [--list-rules] [--only RULE[,RULE...]]
+#                                  [build-dir] [dir ...]
 #
-#   build-dir  directory holding compile_commands.json
-#              (default: build, then build/release)
-#   dir ...    source subtrees to analyze (default: src tests bench examples)
+#   --list-rules  print the crowdsky_lint rule catalog and exit
+#   --only        run only the named CS-* lint rules (skips clang-tidy);
+#                 unknown rule ids are rejected up front
+#   build-dir     directory holding compile_commands.json
+#                 (default: build, then build/release)
+#   dir ...       source subtrees to analyze (default: src tests bench
+#                 examples; the lint prong always scopes to src)
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
+
+lint="scripts/crowdsky_lint.py"
+only=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --list-rules) exec python3 "${lint}" --list-rules ;;
+    --only) only="$2"; shift 2 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    --*) echo "error: unknown argument: $1" >&2; exit 2 ;;
+    *) break ;;
+  esac
+done
+
+# Reject unknown --only rule ids up front; a typo would otherwise gate on
+# nothing. (--list-rules prints one "CS-XXXNNN  title" line per rule.)
+if [[ -n "${only}" ]]; then
+  valid="$(python3 "${lint}" --list-rules | awk '/^CS-/{print $1}')"
+  IFS=',' read -r -a requested <<< "${only}"
+  for rule in "${requested[@]}"; do
+    if ! grep -qx "${rule}" <<< "${valid}"; then
+      echo "error: unknown rule id: ${rule}" >&2
+      echo "Available rules:" >&2
+      python3 "${lint}" --list-rules | sed 's/^/  /' >&2
+      exit 2
+    fi
+  done
+fi
 
 build_dir="${1:-}"
 if [[ -n "${build_dir}" ]]; then
@@ -42,8 +79,18 @@ if [[ ${#dirs[@]} -eq 0 ]]; then
   dirs=(src tests bench examples)
 fi
 
-# Collect the translation units under the requested subtrees.
-mapfile -t sources < <(python3 - "${build_dir}/compile_commands.json" "${dirs[@]}" <<'PY'
+# --only: run just the requested project-law rules and stop. clang-tidy
+# has no notion of CS-* ids, so the tidy prong is skipped here; --strict
+# is also off because allowlist entries for deselected rules would read
+# as stale.
+if [[ -n "${only}" ]]; then
+  exec python3 "${lint}" --compile-commands "${build_dir}/compile_commands.json" \
+       --only "${only}"
+fi
+
+# Collect the translation units under the requested subtrees, refusing to
+# proceed when the database references files that no longer exist.
+sources_raw="$(python3 - "${build_dir}/compile_commands.json" "${dirs[@]}" <<'PY'
 import json
 import os
 import sys
@@ -51,15 +98,30 @@ import sys
 db_path, roots = sys.argv[1], sys.argv[2:]
 repo = os.getcwd()
 prefixes = tuple(os.path.join(repo, r) + os.sep for r in roots)
-seen = []
+seen, stale = [], []
 for entry in json.load(open(db_path)):
     path = os.path.normpath(
         os.path.join(entry["directory"], entry["file"]))
-    if path.startswith(prefixes) and path not in seen:
+    if not path.startswith(prefixes):
+        continue
+    if not os.path.exists(path):
+        stale.append(path)
+    elif path not in seen:
         seen.append(path)
+if stale:
+    print(f"error: {db_path} lists {len(stale)} file(s) missing on disk "
+          "(stale database -- re-run cmake):", file=sys.stderr)
+    for p in stale:
+        print(f"  {p}", file=sys.stderr)
+    sys.exit(3)
 print("\n".join(seen))
 PY
-)
+)"
+collect_status=$?
+if [[ ${collect_status} -ne 0 ]]; then
+  exit "${collect_status}"
+fi
+mapfile -t sources <<< "${sources_raw}"
 
 if [[ ${#sources[@]} -eq 0 || -z "${sources[0]}" ]]; then
   echo "error: compile_commands.json has no entries under: ${dirs[*]}" >&2
@@ -130,6 +192,13 @@ for entry in json.load(open(db_path)):
     print(path + "\t" + " ".join(shlex.quote(a) for a in keep))
 PY
 )
+fi
+
+echo "Running project-law linter (crowdsky_lint.py --strict)"
+if ! python3 "${lint}" \
+     --compile-commands "${build_dir}/compile_commands.json" --strict; then
+  lint_status=$?
+  status=$(( status == 0 ? lint_status : status ))
 fi
 
 if [[ ${status} -eq 0 ]]; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <sstream>
 #include <unordered_map>
@@ -25,6 +26,24 @@ std::string Pair(int u, int v) {
   out += std::to_string(v);
   out += ")";
   return out;
+}
+
+/// The map's keys in canonical (attr, first, second) order. Hash-map
+/// iteration order is seed-dependent; reports built by walking a count map
+/// must not inherit that order (determinism rule CS-ORD003 — two runs of
+/// the same broken input must emit violations in the same order).
+std::vector<PairQuestion> SortedQuestionKeys(
+    const std::unordered_map<PairQuestion, int64_t, PairQuestionHash>& map) {
+  std::vector<PairQuestion> keys;
+  keys.reserve(map.size());
+  for (const auto& [q, count] : map) keys.push_back(q);
+  std::sort(keys.begin(), keys.end(),
+            [](const PairQuestion& a, const PairQuestion& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return keys;
 }
 
 }  // namespace
@@ -378,7 +397,8 @@ void InvariantAuditor::AuditSessionSnapshot(const SessionSnapshot& snapshot,
       "session.retry_log",
       "retry counter " + std::to_string(snapshot.retries) +
           " != retry log size " + std::to_string(snapshot.retry_pairs.size()));
-  for (const auto& [q, paid] : paid_count) {
+  for (const PairQuestion& q : SortedQuestionKeys(paid_count)) {
+    const int64_t paid = paid_count.at(q);
     const auto it = retry_count.find(q);
     const int64_t retries = it == retry_count.end() ? 0 : it->second;
     report->Check(paid == 1 + retries, "session.no_repay",
@@ -520,7 +540,8 @@ void InvariantAuditor::AuditJournalSnapshot(
 
   // Exactly one durable record per paid question — a re-paid question
   // would surface here as a second record for the same canonical pair.
-  for (const auto& [q, count] : record_count) {
+  for (const PairQuestion& q : SortedQuestionKeys(record_count)) {
+    const int64_t count = record_count.at(q);
     report->Check(count == 1, "journal.one_record",
                   "pair attr=" + std::to_string(q.attr) + " " +
                       Pair(q.first, q.second) + " has " +
@@ -778,8 +799,10 @@ void InvariantAuditor::AuditObservability(const obs::MetricRegistry& metrics,
   // ledgers the counters are supposed to mirror. The counters were
   // incremented through an independent code path (obs hooks at the same
   // sites), so equality here proves neither side silently drifted.
+  // Ordered maps: the "never published" walk below emits one finding per
+  // missing counter, and that order must be run-independent.
   const SessionStats& s = session.stats();
-  std::unordered_map<std::string, int64_t> expected;
+  std::map<std::string, int64_t> expected;
   expected["crowdsky.pair_attempts"] = s.questions;
   expected["crowdsky.cache_hits"] = s.cache_hits;
   expected["crowdsky.rounds"] = s.rounds;
@@ -816,7 +839,7 @@ void InvariantAuditor::AuditObservability(const obs::MetricRegistry& metrics,
   auto is_deterministic = [](const std::string& name) {
     return name.rfind("crowdsky.", 0) == 0 || name.rfind("journal.", 0) == 0;
   };
-  std::unordered_map<std::string, int64_t> present;
+  std::map<std::string, int64_t> present;
   for (const auto& [name, value] : metrics.CounterSamples()) {
     if (!is_deterministic(name)) continue;
     present.emplace(name, value);

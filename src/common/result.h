@@ -21,9 +21,11 @@ template <typename T>
 class Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(T value) : value_(std::move(value)) {}
   /// Constructs from an error status (implicit, enables `return status;`).
-  Result(Status status)  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(Status status)
       : status_(std::move(status)) {
     CROWDSKY_CHECK_MSG(!status_.ok(),
                        "Result constructed from OK status without value");
@@ -34,16 +36,20 @@ class Result {
   const Status& status() const { return status_; }
 
   /// Access the value; aborts if this Result holds an error.
+  ///
+  /// The guards test value_.has_value() directly (not ok()) so that
+  /// flow-sensitive checkers (bugprone-unchecked-optional-access) can see
+  /// that the abort branch dominates every dereference.
   const T& ValueOrDie() const& {
-    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    CROWDSKY_CHECK_MSG(value_.has_value(), status_.ToString().c_str());
     return *value_;
   }
   T& ValueOrDie() & {
-    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    CROWDSKY_CHECK_MSG(value_.has_value(), status_.ToString().c_str());
     return *value_;
   }
   T ValueOrDie() && {
-    CROWDSKY_CHECK_MSG(ok(), status_.ToString().c_str());
+    CROWDSKY_CHECK_MSG(value_.has_value(), status_.ToString().c_str());
     return std::move(*value_);
   }
 
@@ -54,7 +60,7 @@ class Result {
 
   /// Returns the value or `fallback` when this Result holds an error.
   T ValueOr(T fallback) const& {
-    return ok() ? *value_ : std::move(fallback);
+    return value_.has_value() ? *value_ : std::move(fallback);
   }
 
  private:

@@ -1,0 +1,83 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// These wrap clang's `-Wthread-safety` attributes so that CrowdSky's lock
+// discipline — which mutex guards which state, which functions must (or
+// must not) be called with a lock held — lives in the type system instead
+// of in comments. The `tsafety` CMake preset compiles the tree with clang
+// and `-Werror=thread-safety`, turning every violation into a build error;
+// under GCC (the default toolchain) every macro expands to nothing.
+//
+// Usage pattern (see common/mutex.h for the annotated Mutex/MutexLock/
+// CondVar types every concurrent subsystem uses):
+//
+//   class Inbox {
+//     void Push(Item item) CROWDSKY_EXCLUDES(mutex_);   // acquires inside
+//    private:
+//     bool HasWorkLocked() const CROWDSKY_REQUIRES(mutex_);
+//     Mutex mutex_;
+//     std::deque<Item> items_ CROWDSKY_GUARDED_BY(mutex_);
+//   };
+//
+// The macro set mirrors the canonical mutex.h example in the clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html),
+// renamed into the CROWDSKY_ namespace.
+#pragma once
+
+#if defined(__clang__)
+#define CROWDSKY_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CROWDSKY_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable) type; `x` is the capability
+/// kind shown in diagnostics, e.g. "mutex".
+#define CROWDSKY_CAPABILITY(x) CROWDSKY_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock).
+#define CROWDSKY_SCOPED_CAPABILITY CROWDSKY_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define CROWDSKY_GUARDED_BY(x) CROWDSKY_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// is not).
+#define CROWDSKY_PT_GUARDED_BY(x) CROWDSKY_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may only be called while holding the listed capabilities; it
+/// does not acquire or release them.
+#define CROWDSKY_REQUIRES(...) \
+  CROWDSKY_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define CROWDSKY_ACQUIRE(...) \
+  CROWDSKY_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held on entry).
+#define CROWDSKY_RELEASE(...) \
+  CROWDSKY_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; `__VA_ARGS__` starts with
+/// the boolean return value meaning "acquired".
+#define CROWDSKY_TRY_ACQUIRE(...) \
+  CROWDSKY_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities
+/// (it acquires them itself; documents non-reentrancy and prevents
+/// self-deadlock at compile time).
+#define CROWDSKY_EXCLUDES(...) \
+  CROWDSKY_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability and
+/// tells the analysis to assume it from here on.
+#define CROWDSKY_ASSERT_CAPABILITY(x) \
+  CROWDSKY_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the capability `x` (accessor pattern).
+#define CROWDSKY_RETURN_CAPABILITY(x) \
+  CROWDSKY_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the function is safe.
+#define CROWDSKY_NO_THREAD_SAFETY_ANALYSIS \
+  CROWDSKY_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace crowdsky {
 namespace {
@@ -16,17 +17,17 @@ namespace {
 // otherwise guarantee progress for the inner loop).
 thread_local bool tls_in_pool_worker = false;
 
-std::unique_ptr<ThreadPool> g_pool;                 // NOLINT
-std::mutex g_pool_mutex;                            // NOLINT
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool CROWDSKY_GUARDED_BY(g_pool_mutex);
 
 }  // namespace
 
 struct ThreadPool::Job {
   explicit Job(size_t n) : pending(n) {}
-  std::mutex m;
-  std::condition_variable cv;
-  size_t pending;            // guarded by m
-  std::exception_ptr error;  // first chunk failure; guarded by m
+  Mutex m;
+  CondVar cv;
+  size_t pending CROWDSKY_GUARDED_BY(m);
+  std::exception_ptr error CROWDSKY_GUARDED_BY(m);  // first chunk failure
 };
 
 ThreadPool::ThreadPool(int num_threads)
@@ -41,10 +42,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -56,12 +57,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lock(mutex_);
     deques_[next_deque_].push_back(std::move(task));
     next_deque_ = (next_deque_ + 1) % deques_.size();
     NoteEnqueuedLocked();
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::NoteEnqueuedLocked() {
@@ -73,16 +74,18 @@ void ThreadPool::NoteEnqueuedLocked() {
   }
 }
 
+bool ThreadPool::IdleLocked() const {
+  if (busy_workers_ != 0) return false;
+  for (const auto& d : deques_) {
+    if (!d.empty()) return false;
+  }
+  return true;
+}
+
 void ThreadPool::WaitIdle() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lk(mutex_);
-  cv_.wait(lk, [this] {
-    if (busy_workers_ != 0) return false;
-    for (const auto& d : deques_) {
-      if (!d.empty()) return false;
-    }
-    return true;
-  });
+  MutexLock lock(mutex_);
+  while (!IdleLocked()) cv_.Wait(mutex_);
 }
 
 bool ThreadPool::PopTask(size_t self, std::function<void()>* task) {
@@ -107,22 +110,23 @@ bool ThreadPool::PopTask(size_t self, std::function<void()>* task) {
 
 void ThreadPool::WorkerLoop(size_t self) {
   tls_in_pool_worker = true;
-  std::unique_lock<std::mutex> lk(mutex_);
+  mutex_.lock();
   while (true) {
     std::function<void()> task;
     if (PopTask(self, &task)) {
       ++busy_workers_;
-      lk.unlock();
+      mutex_.unlock();
       task();
       stat_executed_.fetch_add(1, std::memory_order_relaxed);
-      lk.lock();
+      mutex_.lock();
       --busy_workers_;
-      if (busy_workers_ == 0) cv_.notify_all();  // wake WaitIdle
+      if (busy_workers_ == 0) cv_.NotifyAll();  // wake WaitIdle
       continue;
     }
-    if (stop_) return;
-    cv_.wait(lk);
+    if (stop_) break;
+    cv_.Wait(mutex_);
   }
+  mutex_.unlock();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -148,7 +152,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                             std::memory_order_relaxed);
   const std::function<void(size_t, size_t)>* body = &fn;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lock(mutex_);
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t b = begin + c * chunk;
       const size_t e = b + chunk < end ? b + chunk : end;
@@ -158,31 +162,31 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
         try {
           (*body)(b, e);
         } catch (...) {
-          std::lock_guard<std::mutex> jlk(job.m);
+          MutexLock job_lock(job.m);
           if (!job.error) job.error = std::current_exception();
         }
         tls_in_pool_worker = was_worker;
         // The decrement, notify and unlock all happen before the caller
         // can observe pending == 0 under job.m, so destroying the
         // stack-allocated Job after that observation is safe.
-        std::lock_guard<std::mutex> jlk(job.m);
-        if (--job.pending == 0) job.cv.notify_all();
+        MutexLock job_lock(job.m);
+        if (--job.pending == 0) job.cv.NotifyAll();
       });
       next_deque_ = (next_deque_ + 1) % deques_.size();
     }
     NoteEnqueuedLocked();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   // The calling thread participates until its job drains.
   for (;;) {
     {
-      std::lock_guard<std::mutex> jlk(job.m);
+      MutexLock job_lock(job.m);
       if (job.pending == 0) break;
     }
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lock(mutex_);
       if (!PopTask(deques_.size(), &task)) task = nullptr;
     }
     if (task) {
@@ -191,20 +195,29 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       continue;
     }
     // Nothing runnable: the remaining chunks are in flight on workers.
-    std::unique_lock<std::mutex> jlk(job.m);
-    job.cv.wait(jlk, [&job] { return job.pending == 0; });
+    job.m.lock();
+    while (job.pending != 0) job.cv.Wait(job.m);
+    job.m.unlock();
     break;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error;
+  {
+    MutexLock job_lock(job.m);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
   return *g_pool;
 }
 
 int ThreadPool::DefaultThreads() {
+  // getenv with no setenv anywhere in the library is data-race-free; the
+  // override is process-wide config read at pool (re)creation only.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): see above
   if (const char* env = std::getenv("CROWDSKY_THREADS")) {
     // Strict parse: a typo'd override ("fast", "1.5", "0") silently
     // falling back to hardware_concurrency would be worse than failing —
@@ -233,7 +246,7 @@ ThreadPool::StatsSnapshot ThreadPool::stats() const {
 }
 
 void ThreadPool::SetGlobalThreads(int num_threads) {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   g_pool = std::make_unique<ThreadPool>(
       num_threads >= 1 ? num_threads : DefaultThreads());
 }

@@ -24,20 +24,23 @@
 // Synchronization is intentionally simple (one pool mutex guarding the
 // deques plus per-job atomics): tasks are coarse chunks, so queue traffic
 // is negligible next to chunk execution, and the simple locking is easy to
-// prove race-free under the tsan preset.
+// prove race-free under the tsan preset. The lock discipline is also
+// enforced statically: the pool mutex is a capability (common/mutex.h),
+// every guarded member is CROWDSKY_GUARDED_BY(mutex_), and the tsafety
+// preset fails the build on any access outside the lock.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace crowdsky {
 
@@ -76,10 +79,10 @@ class ThreadPool {
   /// within a running task. Exceptions thrown by `task` abort (tasks
   /// submitted this way have nowhere to rethrow); use ParallelFor for
   /// exception-propagating parallel work.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CROWDSKY_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished.
-  void WaitIdle();
+  void WaitIdle() CROWDSKY_EXCLUDES(mutex_);
 
   /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
   /// of at least `grain` indices, in parallel, and blocks until all chunks
@@ -87,7 +90,8 @@ class ThreadPool {
   /// range no larger than `grain`) this is exactly one inline call
   /// fn(begin, end). Rethrows the first exception raised by any chunk.
   void ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t)>& fn)
+      CROWDSKY_EXCLUDES(mutex_);
 
   /// The process-wide pool, sized by DefaultThreads() on first use (or the
   /// latest SetGlobalThreads call).
@@ -112,17 +116,26 @@ class ThreadPool {
  private:
   struct Job;  // shared completion state of one ParallelFor
 
-  void WorkerLoop(size_t self);
-  bool PopTask(size_t self, std::function<void()>* task);
-  void NoteEnqueuedLocked();  // queue high-water upkeep; mutex_ held
+  void WorkerLoop(size_t self) CROWDSKY_EXCLUDES(mutex_);
+  bool PopTask(size_t self, std::function<void()>* task)
+      CROWDSKY_REQUIRES(mutex_);
+  void NoteEnqueuedLocked() CROWDSKY_REQUIRES(mutex_);  // queue high-water
+  /// True iff no worker is busy and every deque is empty.
+  bool IdleLocked() const CROWDSKY_REQUIRES(mutex_);
 
   int num_threads_;
-  bool stop_ = false;
-  std::mutex mutex_;             // guards deques_ and stop_
-  std::condition_variable cv_;   // workers sleep here
-  std::vector<std::deque<std::function<void()>>> deques_;
-  int busy_workers_ = 0;         // workers currently executing a task
-  size_t next_deque_ = 0;        // round-robin submission cursor
+  /// Guards stop_, deques_, busy_workers_ and next_deque_. Everything else
+  /// is either immutable after construction (num_threads_, workers_) or a
+  /// relaxed statistic atomic.
+  Mutex mutex_;
+  CondVar cv_;  // workers sleep here; WaitIdle waits here too
+  bool stop_ CROWDSKY_GUARDED_BY(mutex_) = false;
+  std::vector<std::deque<std::function<void()>>> deques_
+      CROWDSKY_GUARDED_BY(mutex_);
+  /// Workers currently executing a task.
+  int busy_workers_ CROWDSKY_GUARDED_BY(mutex_) = 0;
+  /// Round-robin submission cursor.
+  size_t next_deque_ CROWDSKY_GUARDED_BY(mutex_) = 0;
   std::vector<std::thread> workers_;
 
   // Activity counters (see StatsSnapshot). Relaxed: these are statistics,

@@ -34,7 +34,7 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 Counter* MetricRegistry::FindOrCreateCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   CROWDSKY_CHECK_MSG(!gauges_.contains(name) && !histograms_.contains(name),
                      "metric name already registered with another kind");
   auto it = counters_.find(name);
@@ -46,7 +46,7 @@ Counter* MetricRegistry::FindOrCreateCounter(std::string_view name) {
 }
 
 Gauge* MetricRegistry::FindOrCreateGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   CROWDSKY_CHECK_MSG(!counters_.contains(name) && !histograms_.contains(name),
                      "metric name already registered with another kind");
   auto it = gauges_.find(name);
@@ -57,7 +57,7 @@ Gauge* MetricRegistry::FindOrCreateGauge(std::string_view name) {
 }
 
 Histogram* MetricRegistry::FindOrCreateHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   CROWDSKY_CHECK_MSG(!counters_.contains(name) && !gauges_.contains(name),
                      "metric name already registered with another kind");
   auto it = histograms_.find(name);
@@ -69,19 +69,19 @@ Histogram* MetricRegistry::FindOrCreateHistogram(std::string_view name) {
 }
 
 int64_t MetricRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 bool MetricRegistry::HasCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   return counters_.contains(name);
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterSamples()
     const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size() + 2 * histograms_.size());
   for (const auto& [name, counter] : counters_) {
@@ -97,7 +97,7 @@ std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterSamples()
 
 std::vector<std::pair<std::string, double>> MetricRegistry::GaugeSamples()
     const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -107,7 +107,7 @@ std::vector<std::pair<std::string, double>> MetricRegistry::GaugeSamples()
 }
 
 std::string MetricRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = Sanitize(name);

@@ -20,14 +20,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace crowdsky::obs {
 
@@ -123,10 +124,15 @@ class MetricRegistry {
   std::string PrometheusText() const;
 
  private:
-  mutable std::mutex mutex_;  // guards the maps, not the metric values
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the maps, not the metric values — handed-out Counter*/Gauge*/
+  /// Histogram* pointers are updated lock-free through their own atomics.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CROWDSKY_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CROWDSKY_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CROWDSKY_GUARDED_BY(mutex_);
 };
 
 /// Writes PrometheusText() to `path` (atomic enough for scrape files:

@@ -9,7 +9,10 @@
 namespace crowdsky::obs {
 namespace {
 
-std::atomic<uint64_t> g_next_collector_id{1};  // NOLINT
+// The process-unique id fountain is the whole point; it has no destructor
+// and no ordering hazards (plain relaxed atomic).
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables): see above
+std::atomic<uint64_t> g_next_collector_id{1};
 
 /// Per-thread cache of (collector id -> buffer). Collector ids are
 /// process-unique and never reused, so an entry for a destroyed collector
@@ -19,7 +22,10 @@ struct TlsEntry {
   uint64_t id;
   void* buffer;
 };
-thread_local std::vector<TlsEntry> tls_buffers;  // NOLINT
+// Thread-local by design — the per-thread cache is what makes recording
+// lock-free; entries are only touched by their owning thread.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables): see above
+thread_local std::vector<TlsEntry> tls_buffers;
 
 }  // namespace
 
@@ -37,7 +43,7 @@ TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
   for (const TlsEntry& entry : tls_buffers) {
     if (entry.id == id_) return static_cast<ThreadBuffer*>(entry.buffer);
   }
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<uint32_t>(buffers_.size());
   ThreadBuffer* raw = buffer.get();
@@ -59,7 +65,7 @@ void TraceCollector::Record(std::string name, int64_t start_ns,
 }
 
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   for (const auto& buffer : buffers_) {
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
@@ -74,7 +80,7 @@ std::vector<TraceEvent> TraceCollector::Snapshot() const {
 }
 
 int64_t TraceCollector::event_count() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lock(mutex_);
   int64_t count = 0;
   for (const auto& buffer : buffers_) {
     count += static_cast<int64_t>(buffer->events.size());

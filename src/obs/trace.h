@@ -24,12 +24,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace crowdsky::obs {
 
@@ -77,8 +78,13 @@ class TraceCollector {
 
   const uint64_t id_;  ///< process-unique, never reused (tls cache key)
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  // guards buffers_ (registration + snapshot)
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Guards buffers_ (registration + snapshot). Recording appends through
+  /// a thread-local ThreadBuffer* without the lock — safe because only the
+  /// owning thread ever touches its buffer's events, and snapshots only
+  /// happen at quiescent points (see file comment).
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      CROWDSKY_GUARDED_BY(mutex_);
 };
 
 /// \brief RAII span: records [construction, End()/destruction) into a

@@ -1,0 +1,20 @@
+// lint-path: src/obs/trace.cc
+// expect-lint: none
+//
+// The trace collector owns wall-clock reads; CS-CLK002 exempts
+// src/obs/trace.{h,cc}. steady_clock elsewhere is also fine: the rule
+// targets wall-clock sources, not monotonic ones.
+
+#include <chrono>
+#include <cstdint>
+
+namespace crowdsky::obs {
+
+int64_t WallStartNanos() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace crowdsky::obs

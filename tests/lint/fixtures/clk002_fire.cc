@@ -1,0 +1,16 @@
+// lint-path: src/persist/journal_meta.cc
+// expect-lint: CS-CLK002
+
+#include <chrono>
+#include <cstdint>
+
+namespace crowdsky::persist {
+
+int64_t StampRecord() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace crowdsky::persist

@@ -1,0 +1,23 @@
+// lint-path: src/crowd/cost_model.h
+// expect-lint: none
+//
+// cost_model.h is the one sanctioned home of dollar arithmetic: the
+// ledger counts integers and converts exactly once, here.
+
+#include <cstdint>
+
+namespace crowdsky {
+
+class AmtCostModel {
+ public:
+  double TotalDollars(int64_t questions) const {
+    double total = 0.0;
+    total += static_cast<double>(questions) * price_per_question_;
+    return total;
+  }
+
+ private:
+  double price_per_question_ = 0.05;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,16 @@
+// lint-path: src/persist/cost_ledger.cc
+// expect-lint: CS-FLT009
+
+#include <vector>
+
+namespace crowdsky::persist {
+
+double TotalSpend(const std::vector<double>& payments) {
+  double total = 0.0;
+  for (double p : payments) {
+    total += p;  // accumulated rounding error drifts the audited ledger
+  }
+  return total;
+}
+
+}  // namespace crowdsky::persist

@@ -1,0 +1,12 @@
+// lint-path: bench/loader_debug_main.cc
+// expect-lint: none
+//
+// CS-IOS008 polices library code only: bench/ mains print to stdout by
+// design.
+
+#include <iostream>
+
+int main() {
+  std::cout << "rows loaded\n";
+  return 0;
+}

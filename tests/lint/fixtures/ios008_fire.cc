@@ -1,0 +1,10 @@
+// lint-path: src/data/loader_debug.cc
+// expect-lint: CS-IOS008
+
+#include <iostream>
+
+namespace crowdsky::data {
+
+void DumpRow(int id) { std::cout << "row " << id << "\n"; }
+
+}  // namespace crowdsky::data

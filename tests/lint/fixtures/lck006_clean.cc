@@ -1,0 +1,20 @@
+// lint-path: src/obs/metrics_locked.cc
+// expect-lint: none
+
+#include "common/mutex.h"
+
+namespace crowdsky::obs {
+
+class Registry {
+ public:
+  void Bump() {
+    MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  Mutex mutex_;
+  long count_ CROWDSKY_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace crowdsky::obs

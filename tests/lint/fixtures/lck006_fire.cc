@@ -1,0 +1,23 @@
+// lint-path: src/obs/metrics_extra.cc
+// expect-lint: CS-LCK006
+
+#include "common/mutex.h"
+
+namespace crowdsky::obs {
+
+class Registry {
+ public:
+  void Bump() {
+    // std::scoped_lock over a crowdsky::Mutex still compiles (the wrapper
+    // is BasicLockable) but the acquisition bypasses the annotated
+    // MutexLock, so the analysis cannot see it.
+    std::scoped_lock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  Mutex mutex_;
+  long count_ CROWDSKY_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace crowdsky::obs

@@ -1,0 +1,24 @@
+// lint-path: src/sched/dispatch_queue_guarded.h
+// expect-lint: none
+
+#include <deque>
+#include <functional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace crowdsky {
+
+class DispatchQueue {
+ public:
+  void Push(std::function<void()> fn) {
+    MutexLock lock(mutex_);
+    items_.push_back(std::move(fn));
+  }
+
+ private:
+  Mutex mutex_;
+  std::deque<std::function<void()>> items_ CROWDSKY_GUARDED_BY(mutex_);
+};
+
+}  // namespace crowdsky

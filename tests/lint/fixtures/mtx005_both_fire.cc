@@ -1,0 +1,17 @@
+// lint-path: src/crowd/answer_box_mutex.h
+// expect-lint: CS-MTX004, CS-MTX005
+//
+// A raw std::mutex member trips both rules at once: it is the wrong type
+// (CS-MTX005) and it guards nothing on paper (CS-MTX004). The runner
+// asserts the exact set, so this fixture proves multi-rule reporting.
+
+#include <mutex>
+
+namespace crowdsky {
+
+class AnswerBox {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,17 @@
+// lint-path: src/common/mutex.h
+// expect-lint: none
+//
+// src/common/mutex.h is the one sanctioned home of the raw std types —
+// the wrappers have to wrap something.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace crowdsky {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace crowdsky

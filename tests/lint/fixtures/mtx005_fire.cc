@@ -1,0 +1,15 @@
+// lint-path: src/crowd/answer_box.h
+// expect-lint: CS-MTX005
+
+#include <condition_variable>
+
+namespace crowdsky {
+
+class AnswerBox {
+ private:
+  // Raw std::condition_variable_any is invisible to -Wthread-safety;
+  // crowdsky::CondVar (common/mutex.h) is the annotated wrapper.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace crowdsky

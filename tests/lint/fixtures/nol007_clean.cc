@@ -1,0 +1,17 @@
+// lint-path: src/skyline/dominance_justified.cc
+// expect-lint: none
+
+namespace crowdsky {
+
+int Compare(int a, int b) {
+  int r = a - b;  // NOLINT(bugprone-narrowing-conversions): ranks fit in 16 bits
+  return r;
+}
+
+int Widen(short v) {
+  // The product of two shorts fits comfortably in int here.
+  // NOLINTNEXTLINE(bugprone-misplaced-widening-cast): see above
+  return (int)(v * 2);
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,16 @@
+// lint-path: src/skyline/dominance_extra.cc
+// expect-lint: CS-NOL007
+
+namespace crowdsky {
+
+int Compare(int a, int b) {
+  int r = a - b;  // NOLINT
+  return r;
+}
+
+int Widen(short v) {
+  // NOLINTNEXTLINE(bugprone-misplaced-widening-cast)
+  return (int)(v * 2);
+}
+
+}  // namespace crowdsky

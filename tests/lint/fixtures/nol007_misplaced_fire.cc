@@ -1,0 +1,13 @@
+// lint-path: src/skyline/dominance_misplaced.cc
+// expect-lint: CS-NOL007
+
+namespace crowdsky {
+
+int Widen(short v) {
+  // NOLINTNEXTLINE(bugprone-misplaced-widening-cast): the product fits —
+  // this suppression never reaches the cast because the rationale
+  // continues on the line below it, which is what clang-tidy suppresses.
+  return (int)(v * 2);
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,29 @@
+// lint-path: src/audit/ledger_report_sorted.cc
+// expect-lint: none
+//
+// Point lookups into an unordered map are fine — only iteration is
+// order-dependent. Ordered iteration goes through std::map.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdsky::audit {
+
+std::vector<std::string> DescribeCounts(
+    const std::vector<std::string>& keys) {
+  std::unordered_map<std::string, int64_t> counts;
+  std::map<std::string, int64_t> ordered;
+  for (const auto& key : keys) {
+    ordered[key] = counts.count(key) ? counts.at(key) : 0;
+  }
+  std::vector<std::string> lines;
+  for (const auto& [key, value] : ordered) {
+    lines.push_back(key + "=" + std::to_string(value));
+  }
+  return lines;
+}
+
+}  // namespace crowdsky::audit

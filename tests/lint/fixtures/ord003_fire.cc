@@ -1,0 +1,23 @@
+// lint-path: src/audit/ledger_report.cc
+// expect-lint: CS-ORD003
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdsky::audit {
+
+std::vector<std::string> DescribeCounts() {
+  std::unordered_map<std::string, int64_t> counts;
+  counts["paid"] = 3;
+  std::vector<std::string> lines;
+  // Hash order leaks straight into the report: the bug CS-ORD003 exists
+  // to catch.
+  for (const auto& [key, value] : counts) {
+    lines.push_back(key + "=" + std::to_string(value));
+  }
+  return lines;
+}
+
+}  // namespace crowdsky::audit

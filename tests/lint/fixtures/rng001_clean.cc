@@ -1,0 +1,21 @@
+// lint-path: src/common/random.h
+// expect-lint: none
+//
+// The sanctioned home of the stdlib engine: CS-RNG001 exempts exactly
+// this file.
+
+#include <cstdint>
+#include <random>
+
+namespace crowdsky {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+  uint64_t Next() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,14 @@
+// lint-path: src/crowd/worker_sim.cc
+// expect-lint: CS-RNG001
+
+#include <random>
+
+namespace crowdsky {
+
+int FlipWorkerCoin(double error_rate) {
+  static std::mt19937 gen(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen) < error_rate ? 0 : 1;
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,16 @@
+// lint-path: src/common/thread_pool.cc
+// expect-lint: none
+//
+// The pool is the one sanctioned home of raw threads.
+
+#include <thread>
+#include <vector>
+
+namespace crowdsky {
+
+class ThreadPool {
+ private:
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crowdsky

@@ -1,0 +1,13 @@
+// lint-path: src/crowd/batch_runner.cc
+// expect-lint: CS-THR010
+
+#include <thread>
+
+namespace crowdsky {
+
+void RunDetached(void (*fn)()) {
+  std::thread t(fn);
+  t.detach();
+}
+
+}  // namespace crowdsky

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Test harness for scripts/crowdsky_lint.py.
+
+Two modes, both registered with ctest (tests/lint/CMakeLists.txt):
+
+  --fixtures DIR   Run the linter over every fixture in DIR and assert
+                   that EXACTLY the rules named by its '// expect-lint:'
+                   directive fire ('none' = the fixture must be clean).
+                   Each fixture carries a '// lint-path:' directive giving
+                   the virtual repo path the rules scope against.
+
+  --repo           Run the linter over the real tree (via the build's
+                   compile_commands.json) with --strict and assert zero
+                   violations outside the allowlist. This is the same
+                   invocation CI's static-analysis job uses, so a local
+                   ctest run catches lint regressions before push.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*(.+)$")
+
+
+def parse_expectations(path):
+    expected = None
+    with open(path, encoding="utf-8") as f:
+        for line in list(f)[:10]:
+            m = EXPECT_RE.search(line)
+            if m:
+                spec = m.group(1).strip()
+                expected = (set() if spec == "none" else
+                            {s.strip() for s in spec.split(",") if s.strip()})
+                break
+    if expected is None:
+        raise SystemExit(f"FAIL: {path} has no '// expect-lint:' directive")
+    return expected
+
+
+def run_linter(linter, extra):
+    proc = subprocess.run(
+        [sys.executable, linter] + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc
+
+
+def check_fixtures(linter, fixtures_dir):
+    fixtures = sorted(glob.glob(os.path.join(fixtures_dir, "*.cc")))
+    if not fixtures:
+        print(f"FAIL: no fixtures found under {fixtures_dir}")
+        return 1
+    failures = 0
+    for fixture in fixtures:
+        expected = parse_expectations(fixture)
+        proc = run_linter(linter, ["--files", fixture, "--fixture-mode",
+                                   "--no-allowlist", "--format", "json"])
+        if proc.returncode not in (0, 1):
+            print(f"FAIL: {os.path.basename(fixture)}: linter exited "
+                  f"{proc.returncode}:\n{proc.stderr}")
+            failures += 1
+            continue
+        fired = {f["rule"] for f in json.loads(proc.stdout)["findings"]}
+        if fired != expected:
+            print(f"FAIL: {os.path.basename(fixture)}: expected "
+                  f"{sorted(expected) or ['none']}, got "
+                  f"{sorted(fired) or ['none']}")
+            for f in json.loads(proc.stdout)["findings"]:
+                print(f"    {f['path']}:{f['line']}: [{f['rule']}] "
+                      f"{f['message']}")
+            failures += 1
+        else:
+            print(f"ok: {os.path.basename(fixture)} -> "
+                  f"{sorted(fired) or ['clean']}")
+    print(f"{len(fixtures) - failures}/{len(fixtures)} fixtures passed")
+    return 1 if failures else 0
+
+
+def check_repo(linter, compile_commands):
+    proc = run_linter(linter, ["--compile-commands", compile_commands,
+                               "--strict"])
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"FAIL: strict repo lint exited {proc.returncode}")
+        return 1
+    print("ok: repo is lint-clean under --strict")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--linter", required=True)
+    parser.add_argument("--fixtures")
+    parser.add_argument("--repo", action="store_true")
+    parser.add_argument("--compile-commands")
+    args = parser.parse_args()
+    if args.fixtures:
+        return check_fixtures(args.linter, args.fixtures)
+    if args.repo:
+        if not args.compile_commands:
+            raise SystemExit("--repo needs --compile-commands")
+        return check_repo(args.linter, args.compile_commands)
+    raise SystemExit("pass --fixtures DIR or --repo")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
