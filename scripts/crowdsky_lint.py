@@ -29,6 +29,13 @@ scripts/lint_allowlist.txt), one per line:
 
   CS-ORD003 src/crowd/session.h  # sorted immediately after collection
 
+An entry may be scoped to a single finding inside the file by appending
+':token' to the path; it then only suppresses findings whose message
+names 'token' (e.g. the accumulator variable for CS-FLT009), so one
+intentional pattern cannot blanket-silence the rest of the file:
+
+  CS-FLT009 src/skyline/dominance.cc:sum  # Score cache: monotone sort key
+
 The justification after '#' is mandatory, and --strict fails on allowlist
 entries that no longer suppress anything (stale suppressions rot).
 """
@@ -367,8 +374,12 @@ def _src_except(*exceptions):
 def _ledger_files(path: str) -> bool:
     if path == "src/crowd/cost_model.h":
         return False  # the one place dollar arithmetic is allowed
+    # The dominance kernels/scores are deliberate double arithmetic; they
+    # are in scope so every accumulator there needs a *scoped*
+    # 'path:variable' allowlist entry instead of a blanket NOLINT.
     return (path.startswith("src/audit/") or path.startswith("src/persist/")
-            or path.startswith("src/crowd/session."))
+            or path.startswith("src/crowd/session.")
+            or path.startswith("src/skyline/dominance"))
 
 
 def _everywhere(path: str) -> bool:
@@ -443,7 +454,16 @@ class AllowEntry:
     path: str
     justification: str
     lineno: int
+    token: str = ""  # empty = whole-file scope
     used: int = 0
+
+    def matches(self, finding) -> bool:
+        if self.rule != finding.rule or self.path != finding.path:
+            return False
+        # Scoped entries only suppress the finding that names their token
+        # (rule messages quote the offending identifier), so one blessed
+        # pattern cannot blanket-silence the rest of the file.
+        return not self.token or f"'{self.token}'" in finding.message
 
 
 def parse_allowlist(path: str):
@@ -457,13 +477,15 @@ def parse_allowlist(path: str):
             if not m:
                 raise SystemExit(
                     f"error: {path}:{lineno}: allowlist entries are "
-                    "'RULE-ID path  # justification' (justification "
-                    "mandatory)")
+                    "'RULE-ID path[:token]  # justification' "
+                    "(justification mandatory)")
             rule, target, why = m.groups()
             if rule not in RULES_BY_ID:
                 raise SystemExit(
                     f"error: {path}:{lineno}: unknown rule id '{rule}'")
-            entries.append(AllowEntry(rule, target, why.strip(), lineno))
+            target, _, token = target.partition(":")
+            entries.append(AllowEntry(rule, target, why.strip(), lineno,
+                                      token))
     return entries
 
 
@@ -616,7 +638,7 @@ def main():
     for f in findings:
         suppressed = False
         for entry in allow:
-            if entry.rule == f.rule and entry.path == f.path:
+            if entry.matches(f):
                 entry.used += 1
                 suppressed = True
                 break
@@ -631,7 +653,8 @@ def main():
             {"findings": [vars(f) for f in kept],
              "suppressed": sum(e.used for e in allow),
              "unused_allowlist_entries": [
-                 f"{e.rule} {e.path}" for e in unused]},
+                 f"{e.rule} {e.path}" + (f":{e.token}" if e.token else "")
+                 for e in unused]},
             indent=2))
     else:
         for f in kept:
@@ -644,7 +667,9 @@ def main():
                    f"allowlisted")
         print(summary if not kept else summary, file=sys.stderr)
         for e in unused:
-            print(f"warning: unused allowlist entry ({e.rule} {e.path}) — "
+            scope = f":{e.token}" if e.token else ""
+            print(f"warning: unused allowlist entry "
+                  f"({e.rule} {e.path}{scope}) — "
                   "remove it", file=sys.stderr)
 
     if kept:

@@ -50,7 +50,7 @@ benches=(toy_walkthrough fig6_questions_ind fig7_questions_ant
          fig8_rounds_cardinality fig9_rounds_dimensionality
          fig10_voting_accuracy fig11_accuracy_comparison
          fig12_real_datasets ablations robustness_sweep durability_sweep
-         obs_overhead)
+         obs_overhead hotpath_sweep)
 
 if [[ ${list_only} -eq 1 ]]; then
   printf '%s\n' "${benches[@]}" micro
@@ -117,7 +117,14 @@ for bench in "${benches[@]}"; do
     continue
   fi
   echo "== ${bench} =="
-  if ! "${bin}" > "${out_dir}/${bench}.log" 2>&1; then
+  bench_args=()
+  # hotpath_sweep owns its cell sizes (up to 10^6 tuples); in smoke mode it
+  # takes an explicit flag instead of the env scale so CI runs CI-sized
+  # cells rather than a scaled-down million-tuple sweep.
+  if [[ "${bench}" == "hotpath_sweep" && ${smoke} -eq 1 ]]; then
+    bench_args+=(--smoke)
+  fi
+  if ! "${bin}" "${bench_args[@]}" > "${out_dir}/${bench}.log" 2>&1; then
     echo "error: ${bench} failed; tail of log:" >&2
     tail -20 "${out_dir}/${bench}.log" >&2
     failures=$((failures + 1))

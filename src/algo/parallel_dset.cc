@@ -113,8 +113,13 @@ AlgoResult RunParallelDSet(const Dataset& dataset,
     std::vector<DynamicBitset> effective;
     effective.reserve(partition.size());
     for (const int t : partition) {
-      DynamicBitset ds = structure.dominator_bits(t);
-      if (options.pruning.use_p1) ds.AndNotWith(completion.nonskyline);
+      DynamicBitset ds;
+      if (options.pruning.use_p1) {
+        // One-pass difference instead of copy + AndNotWith.
+        ds.AssignAndNot(structure.dominator_bits(t), completion.nonskyline);
+      } else {
+        ds = structure.dominator_bits(t);
+      }
       if (options.pruning.use_p2) {
         const std::vector<int> members = ds.ToVector();
         if (members.size() > 1) {

@@ -7,7 +7,9 @@
 // our own minimal implementation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
@@ -32,9 +34,14 @@ class DynamicBitset {
   DynamicBitset(size_t size, const Word* word_data, size_t num_words)
       : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {
     const size_t copy = num_words < words_.size() ? num_words : words_.size();
-    for (size_t i = 0; i < copy; ++i) words_[i] = word_data[i];
+    std::copy(word_data, word_data + copy, words_.begin());
     ClearPadding();
   }
+
+  /// Span form of the word constructor, for fill paths that already hold
+  /// their packed rows as spans.
+  DynamicBitset(size_t size, std::span<const Word> words)
+      : DynamicBitset(size, words.data(), words.size()) {}
 
   /// Number of bits.
   size_t size() const { return size_; }
@@ -79,10 +86,28 @@ class DynamicBitset {
   }
 
   /// Number of set bits.
-  size_t Count() const {
-    size_t n = 0;
-    for (Word w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
-    return n;
+  size_t Count() const { return CountWordRange(0, words_.size()); }
+
+  /// Popcount over the word range [first_word, end_word) — the block
+  /// form used by fill paths and closure code that track partial sizes
+  /// without touching the whole row.
+  size_t CountWordRange(size_t first_word, size_t end_word) const {
+    CROWDSKY_DCHECK(first_word <= end_word && end_word <= words_.size());
+    // Four independent accumulators: popcount has multi-cycle latency, so
+    // a single serial chain stalls; splitting the dependency keeps the
+    // ALUs fed (the same unroll pattern all Count* loops below use).
+    size_t n0 = 0, n1 = 0, n2 = 0, n3 = 0;
+    size_t i = first_word;
+    for (; i + 4 <= end_word; i += 4) {
+      n0 += static_cast<size_t>(__builtin_popcountll(words_[i]));
+      n1 += static_cast<size_t>(__builtin_popcountll(words_[i + 1]));
+      n2 += static_cast<size_t>(__builtin_popcountll(words_[i + 2]));
+      n3 += static_cast<size_t>(__builtin_popcountll(words_[i + 3]));
+    }
+    for (; i < end_word; ++i) {
+      n0 += static_cast<size_t>(__builtin_popcountll(words_[i]));
+    }
+    return n0 + n1 + n2 + n3;
   }
   /// True iff no bit is set.
   bool None() const {
@@ -109,6 +134,35 @@ class DynamicBitset {
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   }
 
+  /// this = a & ~b in one pass (no copy-then-AndNotWith round trip).
+  /// Adopts a's size.
+  void AssignAndNot(const DynamicBitset& a, const DynamicBitset& b) {
+    CROWDSKY_DCHECK(a.size_ == b.size_);
+    size_ = a.size_;
+    words_.resize(a.words_.size());
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] = a.words_[i] & ~b.words_[i];
+    }
+  }
+
+  /// this |= (or_src & ~minus) in one pass — the fused form the
+  /// transitive-closure rows want when propagating a row minus a removed
+  /// set, instead of materializing the difference or sweeping twice.
+  void OrAndNotWith(const DynamicBitset& or_src, const DynamicBitset& minus) {
+    CROWDSKY_DCHECK(size_ == or_src.size_ && size_ == minus.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= or_src.words_[i] & ~minus.words_[i];
+    }
+  }
+
+  /// this |= other, plus Set(bit), in one call — the closure insert's
+  /// "absorb the row and the row's owner" step without a second pass.
+  void OrWithAndSet(const DynamicBitset& other, size_t bit) {
+    CROWDSKY_DCHECK(size_ == other.size_ && bit < size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    words_[bit / kBitsPerWord] |= Word{1} << (bit % kBitsPerWord);
+  }
+
   /// this |= other, returning the popcount of the result from the same
   /// word loop — fuses OrWith + Count for transitive-closure updates that
   /// need the new set size.
@@ -126,12 +180,19 @@ class DynamicBitset {
   /// popcount(this & ~other) without materializing the difference.
   size_t AndNotCount(const DynamicBitset& other) const {
     CROWDSKY_DCHECK(size_ == other.size_);
-    size_t n = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      n += static_cast<size_t>(
+    size_t n0 = 0, n1 = 0;
+    size_t i = 0;
+    for (; i + 2 <= words_.size(); i += 2) {
+      n0 += static_cast<size_t>(
+          __builtin_popcountll(words_[i] & ~other.words_[i]));
+      n1 += static_cast<size_t>(
+          __builtin_popcountll(words_[i + 1] & ~other.words_[i + 1]));
+    }
+    for (; i < words_.size(); ++i) {
+      n0 += static_cast<size_t>(
           __builtin_popcountll(words_[i] & ~other.words_[i]));
     }
-    return n;
+    return n0 + n1;
   }
 
   /// True iff (this & other) has at least one set bit.
@@ -146,12 +207,19 @@ class DynamicBitset {
   /// popcount(this & other) without materializing the intersection.
   size_t IntersectionCount(const DynamicBitset& other) const {
     CROWDSKY_DCHECK(size_ == other.size_);
-    size_t n = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      n += static_cast<size_t>(
+    size_t n0 = 0, n1 = 0;
+    size_t i = 0;
+    for (; i + 2 <= words_.size(); i += 2) {
+      n0 += static_cast<size_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+      n1 += static_cast<size_t>(
+          __builtin_popcountll(words_[i + 1] & other.words_[i + 1]));
+    }
+    for (; i < words_.size(); ++i) {
+      n0 += static_cast<size_t>(
           __builtin_popcountll(words_[i] & other.words_[i]));
     }
-    return n;
+    return n0 + n1;
   }
 
   /// True iff every set bit of this is also set in other.
@@ -227,5 +295,24 @@ class DynamicBitset {
   size_t size_ = 0;
   std::vector<Word> words_;
 };
+
+/// In-place transpose of a 64x64 bit matrix held as 64 words, where
+/// `w[r]` is row r and bit c of it is column c. After the call,
+/// bit c of w[r] equals the old bit r of w[c]. This is the recursive
+/// block-swap scheme (swap the off-diagonal 32x32 halves, then 16x16
+/// inside each half, ...): 6 rounds of masked shift-XOR instead of 4096
+/// single-bit moves, which is what makes word-blocked bit-matrix
+/// transposes (e.g. the dominance transpose) cheap.
+inline void Transpose64x64(DynamicBitset::Word w[64]) {
+  using Word = DynamicBitset::Word;
+  Word m = 0x00000000FFFFFFFFULL;
+  for (size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const Word t = ((w[k] >> j) ^ w[k + j]) & m;
+      w[k] ^= t << j;
+      w[k + j] ^= t;
+    }
+  }
+}
 
 }  // namespace crowdsky

@@ -45,18 +45,12 @@ void PreferenceGraph::InsertEdgeClosure(int ru, int rv) {
   // every descendant of v (and v itself) is now reached from u and u's
   // ancestors. anc_[u] / desc_[v] are not modified by the opposite loop, so
   // no snapshots are needed.
-  desc_[u].OrWith(desc_[v]);
-  desc_[u].Set(v);
-  anc_[u].ForEachSetBit([this, v](size_t a) {
-    desc_[a].OrWith(desc_[v]);
-    desc_[a].Set(v);
-  });
-  anc_[v].OrWith(anc_[u]);
-  anc_[v].Set(u);
-  desc_[v].ForEachSetBit([this, u](size_t d) {
-    anc_[d].OrWith(anc_[u]);
-    anc_[d].Set(u);
-  });
+  desc_[u].OrWithAndSet(desc_[v], v);
+  anc_[u].ForEachSetBit(
+      [this, v](size_t a) { desc_[a].OrWithAndSet(desc_[v], v); });
+  anc_[v].OrWithAndSet(anc_[u], u);
+  desc_[v].ForEachSetBit(
+      [this, u](size_t d) { anc_[d].OrWithAndSet(anc_[u], u); });
 }
 
 Status PreferenceGraph::AddPreference(int u, int v) {

@@ -10,14 +10,25 @@
 #include <vector>
 
 #include "skyline/dominance.h"
+#include "skyline/dominance_kernels.h"
 
 namespace crowdsky {
 
 /// Block-nested-loop skyline. Returns skyline ids in increasing order.
+/// Uses the process-selected dominance-kernel backend (CROWDSKY_KERNEL).
 std::vector<int> ComputeSkylineBNL(const PreferenceMatrix& m);
 
 /// Sort-filter-skyline. Returns skyline ids in increasing order.
+/// Uses the process-selected dominance-kernel backend (CROWDSKY_KERNEL).
 std::vector<int> ComputeSkylineSFS(const PreferenceMatrix& m);
+
+/// Backend-pinned variants — the hooks the differential tests and the
+/// hot-path benchmarks use to compare backends within one process (the
+/// env-selected backend is cached after first use).
+std::vector<int> ComputeSkylineBNL(const PreferenceMatrix& m,
+                                   KernelBackend backend);
+std::vector<int> ComputeSkylineSFS(const PreferenceMatrix& m,
+                                   KernelBackend backend);
 
 /// Default machine skyline (SFS).
 inline std::vector<int> ComputeSkyline(const PreferenceMatrix& m) {

@@ -1,5 +1,8 @@
 #include "skyline/dominance.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace crowdsky {
 
 PreferenceMatrix::PreferenceMatrix(const Dataset& dataset,
@@ -17,6 +20,7 @@ PreferenceMatrix::PreferenceMatrix(const Dataset& dataset,
           schema.attribute(attr).direction == Direction::kMin ? v : -v;
     }
   }
+  ComputeScores();
 }
 
 PreferenceMatrix PreferenceMatrix::FromAll(const Dataset& dataset) {
@@ -35,7 +39,18 @@ PreferenceMatrix PreferenceMatrix::FromRaw(int n, int d,
   m.n_ = n;
   m.d_ = d;
   m.values_ = std::move(values);
+  m.ComputeScores();
   return m;
+}
+
+void PreferenceMatrix::ComputeScores() {
+  scores_.resize(static_cast<size_t>(n_));
+  for (int id = 0; id < n_; ++id) {
+    const double* a = row(id);
+    double sum = 0.0;
+    for (int k = 0; k < d_; ++k) sum += a[k];
+    scores_[static_cast<size_t>(id)] = sum;
+  }
 }
 
 PartialOrder PreferenceMatrix::Compare(int s, int t) const {
@@ -67,11 +82,14 @@ bool PreferenceMatrix::Dominates(int s, int t) const {
   return strict;
 }
 
-double PreferenceMatrix::Score(int id) const {
-  const double* a = row(id);
-  double sum = 0.0;
-  for (int k = 0; k < d_; ++k) sum += a[k];
-  return sum;
+std::vector<int> ScoreSortedOrder(const PreferenceMatrix& m) {
+  std::vector<int> order(static_cast<size_t>(m.size()));
+  std::iota(order.begin(), order.end(), 0);
+  // Stable sort over the ascending-id base order == ties broken by id.
+  std::stable_sort(order.begin(), order.end(), [&m](int a, int b) {
+    return m.Score(a) < m.Score(b);
+  });
+  return order;
 }
 
 }  // namespace crowdsky

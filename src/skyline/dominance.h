@@ -68,15 +68,33 @@ class PreferenceMatrix {
   }
 
   /// Sum of a row's normalized values — a monotone score usable as an SFS
-  /// sort key (if s dominates t then Score(s) < Score(t)).
-  double Score(int id) const;
+  /// sort key (if s dominates t then Score(s) < Score(t)). Cached once at
+  /// construction; reads are O(1).
+  double Score(int id) const {
+    CROWDSKY_DCHECK(id >= 0 && id < n_);
+    return scores_[static_cast<size_t>(id)];
+  }
+
+  /// All cached scores, indexed by tuple id.
+  const std::vector<double>& scores() const { return scores_; }
 
  private:
   PreferenceMatrix() = default;
 
+  /// Fills scores_ from values_ (fixed k = 0..d-1 summation order, so the
+  /// cached value is bit-identical to the historical per-call sum).
+  void ComputeScores();
+
   int n_ = 0;
   int d_ = 0;
   std::vector<double> values_;
+  std::vector<double> scores_;
 };
+
+/// Tuple ids of `m` sorted by ascending Score, ties broken by id — the
+/// canonical presort shared by the dominance-structure fill and the
+/// sort-filter skylines. Deterministic for any input (stable sort over an
+/// ascending-id base), which keeps every downstream order bit-identical.
+std::vector<int> ScoreSortedOrder(const PreferenceMatrix& m);
 
 }  // namespace crowdsky

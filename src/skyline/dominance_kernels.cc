@@ -1,0 +1,370 @@
+#include "skyline/dominance_kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CROWDSKY_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define CROWDSKY_KERNELS_X86 0
+#endif
+
+namespace crowdsky {
+namespace {
+
+using Word = DynamicBitset::Word;
+
+constexpr double kPadLow = -std::numeric_limits<double>::infinity();
+constexpr double kPadHigh = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Word kernels. Each computes one 64-candidate output word: bit j is set
+// iff the probe strictly dominates candidate j (Swap=false) or candidate j
+// strictly dominates the probe (Swap=true). Per dimension the <= / <
+// comparison bits fold into one `le` and one `lt` accumulator; the
+// dominance word is le & lt. No early exits inside a word — the
+// predictable straight-line sweep beats the branchy per-pair Compare.
+//
+// Kernels are templated on the dimensionality for d <= kMaxFixedDims with
+// a runtime-d fallback: a compile-time d lets the compiler fully unroll
+// the dimension loop and keep the hoisted per-dim probe values and column
+// pointers in registers, where the runtime loop reloads block.cols[k]
+// every iteration (the double indirection is aliasing-opaque). One
+// indirect call per word selects the instantiation; the sweep entry
+// points resolve it once per call.
+// ---------------------------------------------------------------------------
+
+constexpr int kMaxFixedDims = 8;
+
+using WordKernel = Word (*)(const SoAView&, const double*, size_t);
+
+template <int D, bool Swap>
+Word DominanceWordScalar(const SoAView& block, const double* point,
+                         size_t word) {
+  constexpr size_t kD = static_cast<size_t>(D);
+  const size_t base = word * 64;
+  const double* cols[kD];
+  double pv[kD];
+  for (size_t k = 0; k < kD; ++k) {
+    cols[k] = block.cols[k] + base;
+    pv[k] = point[k];
+  }
+  Word le = ~Word{0};
+  Word lt = 0;
+  for (size_t k = 0; k < kD; ++k) {
+    const double pk = pv[k];
+    const double* c = cols[k];
+    Word lek = 0;
+    Word ltk = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+      if constexpr (Swap) {
+        lek |= static_cast<Word>(c[j] <= pk) << j;
+        ltk |= static_cast<Word>(c[j] < pk) << j;
+      } else {
+        lek |= static_cast<Word>(pk <= c[j]) << j;
+        ltk |= static_cast<Word>(pk < c[j]) << j;
+      }
+    }
+    le &= lek;
+    lt |= ltk;
+  }
+  return le & lt;
+}
+
+template <bool Swap>
+Word DominanceWordScalarN(const SoAView& block, const double* point,
+                          size_t word) {
+  const size_t base = word * 64;
+  Word le = ~Word{0};
+  Word lt = 0;
+  for (int k = 0; k < block.dims; ++k) {
+    const double pk = point[k];
+    const double* c = block.cols[k] + base;
+    Word lek = 0;
+    Word ltk = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+      if constexpr (Swap) {
+        lek |= static_cast<Word>(c[j] <= pk) << j;
+        ltk |= static_cast<Word>(c[j] < pk) << j;
+      } else {
+        lek |= static_cast<Word>(pk <= c[j]) << j;
+        ltk |= static_cast<Word>(pk < c[j]) << j;
+      }
+    }
+    le &= lek;
+    lt |= ltk;
+  }
+  return le & lt;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: 4 candidate lanes per vector, 16 groups per word, compiled
+// with a function-level target attribute so the rest of the binary stays
+// baseline-portable. _CMP_LE_OQ / _CMP_LT_OQ are the exact vector forms
+// of the scalar <= / < (quiet, ordered: false on NaN), so the emitted
+// bits are identical to the scalar backend's by construction.
+// ---------------------------------------------------------------------------
+
+#if CROWDSKY_KERNELS_X86
+
+template <int D, bool Swap>
+__attribute__((target("avx2"))) Word DominanceWordAvx2(
+    const SoAView& block, const double* point, size_t word) {
+  constexpr size_t kD = static_cast<size_t>(D);
+  const size_t base = word * 64;
+  const double* cols[kD];
+  __m256d pv[kD];
+  for (size_t k = 0; k < kD; ++k) {
+    cols[k] = block.cols[k] + base;
+    pv[k] = _mm256_set1_pd(point[k]);
+  }
+  Word out = 0;
+  for (unsigned g = 0; g < 16; ++g) {  // 16 groups of 4 lanes = 64 bits
+    __m256d le = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    __m256d lt = _mm256_setzero_pd();
+    for (size_t k = 0; k < kD; ++k) {
+      const __m256d c = _mm256_loadu_pd(cols[k] + g * 4);
+      if constexpr (Swap) {
+        le = _mm256_and_pd(le, _mm256_cmp_pd(c, pv[k], _CMP_LE_OQ));
+        lt = _mm256_or_pd(lt, _mm256_cmp_pd(c, pv[k], _CMP_LT_OQ));
+      } else {
+        le = _mm256_and_pd(le, _mm256_cmp_pd(pv[k], c, _CMP_LE_OQ));
+        lt = _mm256_or_pd(lt, _mm256_cmp_pd(pv[k], c, _CMP_LT_OQ));
+      }
+    }
+    const int mask = _mm256_movemask_pd(_mm256_and_pd(le, lt));
+    out |= static_cast<Word>(static_cast<unsigned>(mask)) << (g * 4);
+  }
+  return out;
+}
+
+template <bool Swap>
+__attribute__((target("avx2"))) Word DominanceWordAvx2N(
+    const SoAView& block, const double* point, size_t word) {
+  const size_t base = word * 64;
+  Word out = 0;
+  for (unsigned g = 0; g < 16; ++g) {
+    __m256d le = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    __m256d lt = _mm256_setzero_pd();
+    for (int k = 0; k < block.dims; ++k) {
+      const __m256d p = _mm256_set1_pd(point[k]);
+      const __m256d c = _mm256_loadu_pd(block.cols[k] + base + g * 4);
+      if constexpr (Swap) {
+        le = _mm256_and_pd(le, _mm256_cmp_pd(c, p, _CMP_LE_OQ));
+        lt = _mm256_or_pd(lt, _mm256_cmp_pd(c, p, _CMP_LT_OQ));
+      } else {
+        le = _mm256_and_pd(le, _mm256_cmp_pd(p, c, _CMP_LE_OQ));
+        lt = _mm256_or_pd(lt, _mm256_cmp_pd(p, c, _CMP_LT_OQ));
+      }
+    }
+    const int mask = _mm256_movemask_pd(_mm256_and_pd(le, lt));
+    out |= static_cast<Word>(static_cast<unsigned>(mask)) << (g * 4);
+  }
+  return out;
+}
+
+template <bool Swap>
+WordKernel SelectAvx2(int dims) {
+  switch (dims) {
+    case 1: return &DominanceWordAvx2<1, Swap>;
+    case 2: return &DominanceWordAvx2<2, Swap>;
+    case 3: return &DominanceWordAvx2<3, Swap>;
+    case 4: return &DominanceWordAvx2<4, Swap>;
+    case 5: return &DominanceWordAvx2<5, Swap>;
+    case 6: return &DominanceWordAvx2<6, Swap>;
+    case 7: return &DominanceWordAvx2<7, Swap>;
+    case kMaxFixedDims: return &DominanceWordAvx2<kMaxFixedDims, Swap>;
+    default: return &DominanceWordAvx2N<Swap>;
+  }
+}
+
+#endif  // CROWDSKY_KERNELS_X86
+
+template <bool Swap>
+WordKernel SelectScalar(int dims) {
+  switch (dims) {
+    case 1: return &DominanceWordScalar<1, Swap>;
+    case 2: return &DominanceWordScalar<2, Swap>;
+    case 3: return &DominanceWordScalar<3, Swap>;
+    case 4: return &DominanceWordScalar<4, Swap>;
+    case 5: return &DominanceWordScalar<5, Swap>;
+    case 6: return &DominanceWordScalar<6, Swap>;
+    case 7: return &DominanceWordScalar<7, Swap>;
+    case kMaxFixedDims: return &DominanceWordScalar<kMaxFixedDims, Swap>;
+    default: return &DominanceWordScalarN<Swap>;
+  }
+}
+
+// Swap=false: bit j == "probe dominates candidate j" (structure fill).
+// Swap=true: bit j == "candidate j dominates probe" (window tests).
+template <bool Swap>
+WordKernel SelectWordKernel(int dims, KernelBackend backend) {
+#if CROWDSKY_KERNELS_X86
+  if (backend == KernelBackend::kAvx2) return SelectAvx2<Swap>(dims);
+#endif
+  (void)backend;
+  return SelectScalar<Swap>(dims);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kLegacy: return "legacy";
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if CROWDSKY_KERNELS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelBackend SelectedKernelBackend() {
+  static const KernelBackend backend = [] {
+    const char* env = std::getenv("CROWDSKY_KERNEL");
+    if (env == nullptr || std::strcmp(env, "auto") == 0) {
+      return CpuSupportsAvx2() ? KernelBackend::kAvx2
+                               : KernelBackend::kScalar;
+    }
+    if (std::strcmp(env, "legacy") == 0) return KernelBackend::kLegacy;
+    if (std::strcmp(env, "scalar") == 0) return KernelBackend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      // Silent fallback would record benchmarks under the wrong backend
+      // and make "tested under avx2" a lie: abort instead.
+      CROWDSKY_CHECK_MSG(CpuSupportsAvx2(),
+                         "CROWDSKY_KERNEL=avx2 but this CPU/build has no "
+                         "AVX2 support");
+      return KernelBackend::kAvx2;
+    }
+    CROWDSKY_CHECK_MSG(false,
+                       "invalid CROWDSKY_KERNEL (want auto, legacy, "
+                       "scalar, or avx2)");
+    return KernelBackend::kScalar;  // unreachable
+  }();
+  return backend;
+}
+
+// ---------------------------------------------------------------------------
+// Column-major containers
+// ---------------------------------------------------------------------------
+
+SoAMatrix::SoAMatrix(const PreferenceMatrix& m, const std::vector<int>& order)
+    : dims_(m.dims()),
+      count_(order.size()),
+      padded_(PaddedCount(order.size())) {
+  CROWDSKY_DCHECK(order.size() == static_cast<size_t>(m.size()));
+  // Padding rows are -infinity: no finite probe value is <= -inf, so
+  // padding can never come out dominated and the last output word is
+  // clean by construction.
+  columns_.assign(static_cast<size_t>(dims_) * padded_, kPadLow);
+  for (int k = 0; k < dims_; ++k) {
+    double* col = columns_.data() + static_cast<size_t>(k) * padded_;
+    for (size_t j = 0; j < count_; ++j) {
+      col[j] = m.value(order[j], k);
+    }
+  }
+  col_ptrs_.resize(static_cast<size_t>(dims_));
+  for (int k = 0; k < dims_; ++k) col_ptrs_[static_cast<size_t>(k)] = column(k);
+}
+
+namespace {
+std::vector<int> IdentityOrder(int n) {
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  return order;
+}
+}  // namespace
+
+SoAMatrix::SoAMatrix(const PreferenceMatrix& m)
+    : SoAMatrix(m, IdentityOrder(m.size())) {}
+
+SoABlock::SoABlock(int dims) : dims_(dims) {
+  CROWDSKY_CHECK(dims >= 0);
+  cols_.resize(static_cast<size_t>(dims_));
+  col_ptrs_.assign(static_cast<size_t>(dims_), nullptr);
+}
+
+void SoABlock::Reserve(size_t capacity) {
+  capacity_ = PaddedCount(capacity);
+  for (int k = 0; k < dims_; ++k) {
+    // Growth slack is +infinity: a +inf member strictly dominates
+    // nothing, so AnyDominatesPoint can sweep whole padded words without
+    // a tail mask.
+    cols_[static_cast<size_t>(k)].resize(capacity_, kPadHigh);
+    col_ptrs_[static_cast<size_t>(k)] = cols_[static_cast<size_t>(k)].data();
+  }
+}
+
+void SoABlock::Append(const double* row, int id) {
+  if (count_ == capacity_) {
+    Reserve(capacity_ == 0 ? 256 : capacity_ * 2);
+  }
+  for (int k = 0; k < dims_; ++k) {
+    cols_[static_cast<size_t>(k)][count_] = row[k];
+  }
+  ids_.push_back(id);
+  ++count_;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel entry points
+// ---------------------------------------------------------------------------
+
+void PointDominatesTail(const SoAView& block, const double* point,
+                        size_t begin, KernelBackend backend,
+                        DynamicBitset::Word* out) {
+  CROWDSKY_DCHECK(backend != KernelBackend::kLegacy);
+  if (begin >= block.count) return;
+  const WordKernel kernel =
+      SelectWordKernel</*Swap=*/false>(block.dims, backend);
+  const size_t first_word = begin / 64;
+  const size_t num_words = (block.count + 63) / 64;
+  for (size_t w = first_word; w < num_words; ++w) {
+    out[w] = kernel(block, point, w);
+  }
+  // Candidates before `begin` were already handled by the caller's sweep
+  // (they cannot be dominated: their sort key is not larger): mask them
+  // out of the first word so the row carries exactly the tail bits.
+  out[first_word] &= ~Word{0} << (begin % 64);
+}
+
+bool AnyDominatesPoint(const SoAView& block, const double* point,
+                       KernelBackend backend) {
+  CROWDSKY_DCHECK(backend != KernelBackend::kLegacy);
+  const WordKernel kernel =
+      SelectWordKernel</*Swap=*/true>(block.dims, backend);
+  const size_t num_words = (block.count + 63) / 64;
+  for (size_t w = 0; w < num_words; ++w) {
+    if (kernel(block, point, w) != 0) return true;
+  }
+  return false;
+}
+
+void TileMinCorner(const PreferenceMatrix& m, const std::vector<int>& order,
+                   size_t begin, size_t end, double* out) {
+  CROWDSKY_DCHECK(begin < end && end <= order.size());
+  const int d = m.dims();
+  const double* first = m.row(order[begin]);
+  for (int k = 0; k < d; ++k) out[k] = first[k];
+  for (size_t i = begin + 1; i < end; ++i) {
+    const double* row = m.row(order[i]);
+    for (int k = 0; k < d; ++k) out[k] = std::min(out[k], row[k]);
+  }
+}
+
+}  // namespace crowdsky

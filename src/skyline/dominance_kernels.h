@@ -1,0 +1,152 @@
+// Batched dominance kernels over a struct-of-arrays (column-major) tuple
+// layout — the machine-side hot path of every CrowdSky driver.
+//
+// The row-major PreferenceMatrix is the right shape for one-pair Compare
+// calls, but the inner loops of DominanceStructure construction and of the
+// sort-filter skylines test ONE probe tuple against a long BLOCK of
+// candidates. For that access pattern a column-major mirror (all values of
+// attribute k contiguous over the candidates) turns the per-pair branchy
+// Compare into a branch-free sweep that emits one dominance bit per
+// candidate, 64 candidates per output word.
+//
+// Backends:
+//  * kLegacy  — the historical per-pair PreferenceMatrix::Compare loops;
+//               kept callable so differential tests and benches can pin
+//               the pre-kernel behavior,
+//  * kScalar  — portable word-at-a-time C++ (no intrinsics, any CPU),
+//  * kAvx2    — 4-lane double compares via AVX2 intrinsics, compiled with
+//               a function-level target attribute (no special build
+//               flags) and selected only when the CPU reports AVX2.
+//
+// Bit-identity is a hard invariant: every backend performs exactly the
+// same IEEE-754 `<` / `<=` comparisons (no FMA, no reassociation), so the
+// emitted dominance bits — and therefore every skyline, evaluation order,
+// crowd question and ledger downstream — are identical across backends
+// and thread counts. tests/skyline/dominance_kernels_test.cc enforces
+// this differentially.
+//
+// CROWDSKY_KERNEL=auto|legacy|scalar|avx2 overrides the runtime choice
+// (invalid values and avx2-without-CPU-support abort loudly; silent
+// fallback would invalidate a recorded benchmark).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/macros.h"
+#include "skyline/dominance.h"
+
+namespace crowdsky {
+
+/// \brief Which dominance-kernel implementation to run.
+enum class KernelBackend {
+  kLegacy,  ///< per-pair PreferenceMatrix::Compare (pre-kernel behavior)
+  kScalar,  ///< portable branch-free word-at-a-time kernels
+  kAvx2,    ///< AVX2 4-lane kernels (runtime CPU check required)
+};
+
+/// Display name: "legacy", "scalar", "avx2".
+const char* KernelBackendName(KernelBackend backend);
+
+/// True iff this build and CPU can execute the AVX2 backend.
+bool CpuSupportsAvx2();
+
+/// The process-wide backend: CROWDSKY_KERNEL if set (abort on invalid
+/// values or an avx2 request on a non-AVX2 CPU), else kAvx2 when the CPU
+/// supports it, else kScalar. Cached after the first call.
+KernelBackend SelectedKernelBackend();
+
+/// Number of doubles a column is padded to (a multiple of 64 so kernels
+/// always run whole 64-candidate word tiles).
+inline size_t PaddedCount(size_t count) { return (count + 63) / 64 * 64; }
+
+/// \brief Read-only view of a column-major block: cols[k][0..count) holds
+/// attribute k of every member; each column is padded to PaddedCount.
+struct SoAView {
+  const double* const* cols = nullptr;
+  int dims = 0;
+  size_t count = 0;
+};
+
+/// \brief Column-major mirror of a PreferenceMatrix, optionally permuted.
+///
+/// Padding rows hold -infinity, which no finite probe can weakly improve
+/// on, so `PointDominatesTail` emits zero bits for them by construction
+/// (the probe's value is never <= -inf).
+class SoAMatrix {
+ public:
+  /// Mirrors `m` with candidate j of the view = tuple `order[j]`.
+  SoAMatrix(const PreferenceMatrix& m, const std::vector<int>& order);
+  /// Mirrors `m` in tuple-id order.
+  explicit SoAMatrix(const PreferenceMatrix& m);
+
+  int dims() const { return dims_; }
+  size_t count() const { return count_; }
+  const double* column(int k) const {
+    return columns_.data() + static_cast<size_t>(k) * padded_;
+  }
+  SoAView view() const {
+    return SoAView{col_ptrs_.data(), dims_, count_};
+  }
+
+ private:
+  int dims_ = 0;
+  size_t count_ = 0;
+  size_t padded_ = 0;
+  std::vector<double> columns_;          // dims_ * padded_, column-major
+  std::vector<const double*> col_ptrs_;  // dims_ pointers into columns_
+};
+
+/// \brief Growable column-major block for skyline windows / candidate
+/// pools. Padding (and growth slack) holds +infinity, which strictly
+/// dominates nothing, so `AnyDominatesPoint` ignores it by construction.
+class SoABlock {
+ public:
+  explicit SoABlock(int dims);
+
+  /// Appends one member (d contiguous normalized values) with its id.
+  void Append(const double* row, int id);
+
+  size_t count() const { return count_; }
+  const std::vector<int>& ids() const { return ids_; }
+  SoAView view() const {
+    return SoAView{col_ptrs_.data(), dims_, count_};
+  }
+
+ private:
+  void Reserve(size_t capacity);
+
+  int dims_;
+  size_t count_ = 0;
+  size_t capacity_ = 0;
+  std::vector<std::vector<double>> cols_;
+  std::vector<const double*> col_ptrs_;
+  std::vector<int> ids_;
+};
+
+/// Emits one bit per candidate j in [begin, block.count): bit j is set iff
+/// `point` strictly dominates candidate j (point <= candidate on every
+/// dim, < on at least one). Writes exactly the words covering
+/// [begin, block.count) into `out` (indexed in block space: word j/64);
+/// bits below `begin` in the first written word and padding bits past
+/// block.count in the last are cleared. Words before begin/64 are not
+/// touched. `backend` must not be kLegacy.
+void PointDominatesTail(const SoAView& block, const double* point,
+                        size_t begin, KernelBackend backend,
+                        DynamicBitset::Word* out);
+
+/// True iff some member of `block` strictly dominates `point`.
+/// `backend` must not be kLegacy.
+bool AnyDominatesPoint(const SoAView& block, const double* point,
+                       KernelBackend backend);
+
+/// Componentwise minimum of rows `order[begin..end)` of `m` — the virtual
+/// "min corner" of a tile. Any tuple that strictly dominates the min
+/// corner dominates every tuple in the tile, which is what lets the
+/// sort-filter skyline skip whole tiles before any per-tuple kernel call.
+void TileMinCorner(const PreferenceMatrix& m, const std::vector<int>& order,
+                   size_t begin, size_t end, double* out);
+
+}  // namespace crowdsky

@@ -12,24 +12,35 @@
 // Construction is O(n^2) pairwise dominance tests with word-parallel set
 // operations afterwards, block-partitioned across the global ThreadPool
 // (see common/thread_pool.h): each thread fills disjoint row-ranges of the
-// dominatee bitsets over the score-sorted order, a word-partitioned
-// transpose fills the dominator rows, and a merge pass derives sizes,
-// layers and direct dominators. Every phase writes disjoint state, so the
-// structure is bit-identical for every CROWDSKY_THREADS value.
+// dominatee bitsets over the score-sorted order — via the batched SoA
+// dominance kernels (skyline/dominance_kernels.h) by default, or the
+// historical per-pair Compare under CROWDSKY_KERNEL=legacy — a
+// word-partitioned transpose fills the dominator rows, and a merge pass
+// derives sizes, layers and direct dominators. Every phase writes disjoint
+// state and every backend performs the identical IEEE comparisons, so the
+// structure is bit-identical for every CROWDSKY_THREADS value and every
+// kernel backend.
 #pragma once
 
 #include <vector>
 
 #include "common/bitset.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_kernels.h"
 
 namespace crowdsky {
 
 /// \brief Precomputed AK dominance relations for a dataset.
 class DominanceStructure {
  public:
-  /// Builds from the known-attribute view of a dataset.
+  /// Builds from the known-attribute view of a dataset, using the
+  /// process-selected kernel backend (CROWDSKY_KERNEL / CPU detection).
   explicit DominanceStructure(const PreferenceMatrix& known);
+
+  /// Same, but with the fill backend pinned explicitly — the hook the
+  /// differential tests and benchmarks use to compare backends in one
+  /// process regardless of the environment.
+  DominanceStructure(const PreferenceMatrix& known, KernelBackend backend);
 
   int size() const { return n_; }
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <span>
 
 #include "common/random.h"
 
@@ -288,6 +290,106 @@ TEST(DynamicBitsetTest, MutableWordsWritesAreVisible) {
   b.words()[1] = DynamicBitset::Word{1} << 5;
   EXPECT_TRUE(b.Test(64 + 5));
   EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(DynamicBitsetTest, SpanOverloadMatchesPointerConstructor) {
+  DynamicBitset src(200);
+  src.Set(3);
+  src.Set(100);
+  src.Set(199);
+  const DynamicBitset via_span(
+      200, std::span<const DynamicBitset::Word>(src.words(),
+                                                src.word_count()));
+  const DynamicBitset via_ptr(200, src.words(), src.word_count());
+  EXPECT_EQ(via_span, via_ptr);
+  EXPECT_EQ(via_span, src);
+}
+
+TEST(DynamicBitsetTest, AssignAndNotComputesDifferenceInOnePass) {
+  DynamicBitset a(150);
+  DynamicBitset b(150);
+  for (size_t i = 0; i < 150; i += 3) a.Set(i);
+  for (size_t i = 0; i < 150; i += 5) b.Set(i);
+  DynamicBitset out(7);  // wrong size on purpose: must adopt a's size
+  out.AssignAndNot(a, b);
+  EXPECT_EQ(out.size(), 150u);
+  for (size_t i = 0; i < 150; ++i) {
+    EXPECT_EQ(out.Test(i), a.Test(i) && !b.Test(i)) << i;
+  }
+  DynamicBitset expected = a;
+  expected.AndNotWith(b);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(DynamicBitsetTest, OrAndNotWithFusesOrAndDifference) {
+  DynamicBitset self(130);
+  DynamicBitset or_src(130);
+  DynamicBitset minus(130);
+  self.Set(1);
+  or_src.Set(2);
+  or_src.Set(3);
+  or_src.Set(129);
+  minus.Set(3);
+  minus.Set(1);  // removing a bit already in self must NOT clear it
+  self.OrAndNotWith(or_src, minus);
+  EXPECT_TRUE(self.Test(1));
+  EXPECT_TRUE(self.Test(2));
+  EXPECT_FALSE(self.Test(3));
+  EXPECT_TRUE(self.Test(129));
+  EXPECT_EQ(self.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, OrWithAndSetAbsorbsRowAndOwner) {
+  DynamicBitset self(70);
+  DynamicBitset other(70);
+  other.Set(0);
+  other.Set(69);
+  self.OrWithAndSet(other, 33);
+  EXPECT_TRUE(self.Test(0));
+  EXPECT_TRUE(self.Test(33));
+  EXPECT_TRUE(self.Test(69));
+  EXPECT_EQ(self.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, CountWordRangeMatchesManualSlices) {
+  DynamicBitset b(64 * 9 + 17);
+  for (size_t i = 0; i < b.size(); i += 7) b.Set(i);
+  EXPECT_EQ(b.CountWordRange(0, b.word_count()), b.Count());
+  EXPECT_EQ(b.CountWordRange(2, 2), 0u);
+  size_t total = 0;
+  for (size_t w = 0; w < b.word_count(); ++w) {
+    total += b.CountWordRange(w, w + 1);
+  }
+  EXPECT_EQ(total, b.Count());
+  // An interior slice counted manually.
+  size_t expected = 0;
+  for (size_t i = 64 * 3; i < 64 * 7; ++i) {
+    if (b.Test(i)) ++expected;
+  }
+  EXPECT_EQ(b.CountWordRange(3, 7), expected);
+}
+
+TEST(DynamicBitsetTest, Transpose64x64MatchesNaiveBitTranspose) {
+  DynamicBitset::Word w[64];
+  DynamicBitset::Word orig[64];
+  DynamicBitset::Word x = 0x9E3779B97F4A7C15ULL;  // xorshift-filled rows
+  for (auto& row : w) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    row = x;
+  }
+  std::copy(std::begin(w), std::end(w), std::begin(orig));
+  Transpose64x64(w);
+  for (size_t r = 0; r < 64; ++r) {
+    for (size_t c = 0; c < 64; ++c) {
+      ASSERT_EQ((w[r] >> c) & 1u, (orig[c] >> r) & 1u)
+          << "r=" << r << " c=" << c;
+    }
+  }
+  // Involution: transposing again restores the original block.
+  Transpose64x64(w);
+  EXPECT_TRUE(std::equal(std::begin(w), std::end(w), std::begin(orig)));
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+// lint-path: src/skyline/dominance_scores.cc
+// expect-lint: CS-FLT009
+//
+// Companion to the scoped-allowlist check in run_lint_tests.py: that
+// check blesses the 'score' accumulator with a 'path:score' entry and
+// asserts 'drift' still fires. Under the plain fixture sweep
+// (--no-allowlist) both accumulators fire, which is what the
+// expect-lint directive above asserts.
+
+#include <vector>
+
+namespace crowdsky {
+
+double ScoreRow(const std::vector<double>& row) {
+  double score = 0.0;
+  for (const double v : row) score += v;  // monotone sort key, not a ledger
+  return score;
+}
+
+double DriftRow(const std::vector<double>& row) {
+  double drift = 0.0;
+  for (const double v : row) drift += v;
+  return drift;
+}
+
+}  // namespace crowdsky

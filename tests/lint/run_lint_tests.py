@@ -23,6 +23,7 @@ import os
 import re
 import subprocess
 import sys
+import tempfile
 
 EXPECT_RE = re.compile(r"//\s*expect-lint:\s*(.+)$")
 
@@ -80,6 +81,37 @@ def check_fixtures(linter, fixtures_dir):
     return 1 if failures else 0
 
 
+def check_scoped_allowlist(linter, fixtures_dir):
+    """Asserts the ':token' scoped-entry contract: a scoped allowlist
+    entry suppresses exactly the finding that names its token and leaves
+    every other finding in the same file live."""
+    fixture = os.path.join(fixtures_dir, "flt009_scoped_two_accumulators.cc")
+    fd, allow = tempfile.mkstemp(suffix=".txt", text=True)
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write("CS-FLT009 src/skyline/dominance_scores.cc:score"
+                    "  # fixture: the score accumulator is blessed\n")
+        proc = run_linter(linter, ["--files", fixture, "--fixture-mode",
+                                   "--allowlist", allow, "--format", "json"])
+        if proc.returncode != 1:
+            print(f"FAIL: scoped allowlist: linter exited "
+                  f"{proc.returncode} (want 1, 'drift' must stay live):\n"
+                  f"{proc.stderr}")
+            return 1
+        doc = json.loads(proc.stdout)
+        live = [f["message"] for f in doc["findings"]]
+        if (doc["suppressed"] != 1 or len(live) != 1
+                or "'drift'" not in live[0]):
+            print(f"FAIL: scoped allowlist: want exactly 'score' "
+                  f"suppressed and 'drift' live, got suppressed="
+                  f"{doc['suppressed']}, live={live}")
+            return 1
+        print("ok: scoped allowlist entry suppresses only its token")
+        return 0
+    finally:
+        os.unlink(allow)
+
+
 def check_repo(linter, compile_commands):
     proc = run_linter(linter, ["--compile-commands", compile_commands,
                                "--strict"])
@@ -100,7 +132,8 @@ def main():
     parser.add_argument("--compile-commands")
     args = parser.parse_args()
     if args.fixtures:
-        return check_fixtures(args.linter, args.fixtures)
+        rc = check_fixtures(args.linter, args.fixtures)
+        return check_scoped_allowlist(args.linter, args.fixtures) or rc
     if args.repo:
         if not args.compile_commands:
             raise SystemExit("--repo needs --compile-commands")

@@ -1,0 +1,238 @@
+#include "skyline/dominance_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/generator.h"
+#include "skyline/algorithms.h"
+#include "skyline/dominance_structure.h"
+
+namespace crowdsky {
+namespace {
+
+// Backends runnable on this machine. Legacy and scalar always exist; the
+// AVX2 cells are added only when the CPU reports support (the CI kernels
+// job prints a skip notice for the avx2 leg on such runners).
+std::vector<KernelBackend> TestableBackends() {
+  std::vector<KernelBackend> backends = {KernelBackend::kLegacy,
+                                         KernelBackend::kScalar};
+  if (CpuSupportsAvx2()) backends.push_back(KernelBackend::kAvx2);
+  return backends;
+}
+
+Dataset MakeData(int n, int num_known, DataDistribution dist, uint64_t seed) {
+  GeneratorOptions opt;
+  opt.cardinality = n;
+  opt.num_known = num_known;
+  opt.num_crowd = 2;
+  opt.distribution = dist;
+  opt.seed = seed;
+  return GenerateDataset(opt).ValueOrDie();
+}
+
+/// Brute-force reference skyline.
+std::vector<int> ReferenceSkyline(const PreferenceMatrix& m) {
+  std::vector<int> out;
+  for (int t = 0; t < m.size(); ++t) {
+    bool dominated = false;
+    for (int s = 0; s < m.size() && !dominated; ++s) {
+      dominated = m.Dominates(s, t);
+    }
+    if (!dominated) out.push_back(t);
+  }
+  return out;
+}
+
+void ExpectStructuresIdentical(const DominanceStructure& ref,
+                               const DominanceStructure& got,
+                               const char* label) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (int t = 0; t < ref.size(); ++t) {
+    EXPECT_EQ(ref.dominator_bits(t), got.dominator_bits(t))
+        << label << " dominators of " << t;
+    EXPECT_EQ(ref.dominatees(t), got.dominatees(t))
+        << label << " dominatees of " << t;
+    EXPECT_EQ(ref.dominating_set_size(t), got.dominating_set_size(t))
+        << label << " |DS| of " << t;
+  }
+  EXPECT_EQ(ref.evaluation_order(), got.evaluation_order()) << label;
+  EXPECT_EQ(ref.known_skyline(), got.known_skyline()) << label;
+}
+
+// The tentpole invariant: every backend × thread-count cell produces
+// bit-identical dominance structures and identical skylines. The n values
+// cover the padding edge cases n % 64 in {0, 1, 63} on both sides of one
+// word, plus the degenerate n=1; three distributions × two dimensionalities
+// give 36 seeded cells before the backend/thread fan-out.
+TEST(DominanceKernelsDifferentialTest, AllBackendsAndThreadsBitIdentical) {
+  const std::vector<DataDistribution> dists = {DataDistribution::kIndependent,
+                                               DataDistribution::kAntiCorrelated,
+                                               DataDistribution::kCorrelated};
+  const std::vector<int> sizes = {1, 63, 64, 65, 127, 128};
+  const std::vector<KernelBackend> backends = TestableBackends();
+  uint64_t seed = 1;
+  for (const DataDistribution dist : dists) {
+    for (const int n : sizes) {
+      for (const int d : {2, 4}) {
+        const Dataset ds = MakeData(n, d, dist, seed++);
+        const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+        const std::vector<int> ref_sky = ReferenceSkyline(m);
+        ScopedThreads serial(1);
+        const DominanceStructure reference(m, KernelBackend::kLegacy);
+        for (const KernelBackend backend : backends) {
+          for (const int threads : {1, 4}) {
+            ScopedThreads scope(threads);
+            const std::string label =
+                std::string(DataDistributionName(dist)) + " n=" +
+                std::to_string(n) + " d=" + std::to_string(d) + " " +
+                KernelBackendName(backend) + " threads=" +
+                std::to_string(threads);
+            const DominanceStructure got(m, backend);
+            ExpectStructuresIdentical(reference, got, label.c_str());
+            EXPECT_EQ(ComputeSkylineSFS(m, backend), ref_sky) << label;
+            EXPECT_EQ(ComputeSkylineBNL(m, backend), ref_sky) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Larger cells cross the parallel-path threshold (seed filter, block
+// partition, whole-pool merge) and the structure's chunked kernel fill.
+TEST(DominanceKernelsDifferentialTest, LargeCellsCrossParallelThreshold) {
+  const std::vector<KernelBackend> backends = TestableBackends();
+  for (const DataDistribution dist : {DataDistribution::kIndependent,
+                                      DataDistribution::kAntiCorrelated}) {
+    const Dataset ds = MakeData(1500, 4, dist, 77);
+    const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+    const std::vector<int> ref_sky = ReferenceSkyline(m);
+    ScopedThreads serial(1);
+    const DominanceStructure reference(m, KernelBackend::kLegacy);
+    for (const KernelBackend backend : backends) {
+      for (const int threads : {1, 4}) {
+        ScopedThreads scope(threads);
+        const std::string label = std::string(KernelBackendName(backend)) +
+                                  " threads=" + std::to_string(threads);
+        const DominanceStructure got(m, backend);
+        ExpectStructuresIdentical(reference, got, label.c_str());
+        EXPECT_EQ(ComputeSkylineSFS(m, backend), ref_sky) << label;
+        EXPECT_EQ(ComputeSkylineBNL(m, backend), ref_sky) << label;
+      }
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, PointDominatesTailMatchesBruteForce) {
+  const Dataset ds = MakeData(130, 3, DataDistribution::kIndependent, 9);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  const SoAMatrix soa(m);  // id order: candidate j == tuple j
+  const size_t n = static_cast<size_t>(m.size());
+  const size_t words = (n + 63) / 64;
+  for (const KernelBackend backend : TestableBackends()) {
+    if (backend == KernelBackend::kLegacy) continue;
+    for (const size_t begin : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                               size_t{65}, size_t{129}}) {
+      std::vector<DynamicBitset::Word> out(words, 0);
+      PointDominatesTail(soa.view(), m.row(7), begin, backend, out.data());
+      for (size_t j = begin; j < n; ++j) {
+        const bool bit = (out[j / 64] >> (j % 64)) & 1u;
+        EXPECT_EQ(bit, m.Dominates(7, static_cast<int>(j)))
+            << KernelBackendName(backend) << " begin=" << begin
+            << " j=" << j;
+      }
+      // Bits below `begin` in the first written word must be masked off.
+      const DynamicBitset::Word lead_mask =
+          (begin % 64) == 0
+              ? 0
+              : ~(~DynamicBitset::Word{0} << (begin % 64));
+      EXPECT_EQ(out[begin / 64] & lead_mask, 0u)
+          << KernelBackendName(backend) << " begin=" << begin;
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, AnyDominatesPointMatchesBruteForce) {
+  const Dataset ds = MakeData(200, 3, DataDistribution::kAntiCorrelated, 11);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  // Window of every third tuple — deliberately not a multiple of 64 so the
+  // +inf growth slack is exercised.
+  SoABlock block(m.dims());
+  std::vector<int> members;
+  for (int t = 0; t < m.size(); t += 3) {
+    block.Append(m.row(t), t);
+    members.push_back(t);
+  }
+  for (const KernelBackend backend : TestableBackends()) {
+    if (backend == KernelBackend::kLegacy) continue;
+    for (int t = 0; t < m.size(); ++t) {
+      bool expected = false;
+      for (const int s : members) {
+        if (m.Dominates(s, t)) {
+          expected = true;
+          break;
+        }
+      }
+      EXPECT_EQ(AnyDominatesPoint(block.view(), m.row(t), backend), expected)
+          << KernelBackendName(backend) << " t=" << t;
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, SoAMatrixPadsWithMinusInfinity) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(3, 2, {1, 2, 3, 4, 5, 6});
+  const SoAMatrix soa(m);
+  ASSERT_EQ(soa.count(), 3u);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < soa.dims(); ++k) {
+    for (size_t j = soa.count(); j < PaddedCount(soa.count()); ++j) {
+      EXPECT_EQ(soa.column(k)[j], -inf) << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, TileMinCornerIsComponentwiseMinimum) {
+  const PreferenceMatrix m =
+      PreferenceMatrix::FromRaw(4, 2, {3, 9, 1, 7, 5, 2, 4, 4});
+  const std::vector<int> order = {2, 0, 3, 1};
+  std::vector<double> corner(2);
+  TileMinCorner(m, order, 1, 4, corner.data());  // tuples 0, 3, 1
+  EXPECT_EQ(corner[0], 1.0);
+  EXPECT_EQ(corner[1], 4.0);
+}
+
+TEST(DominanceKernelsTest, BackendNames) {
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kLegacy), "legacy");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx2), "avx2");
+}
+
+// Satellite regression: the presort is stable with ties broken by id, and
+// the cached scores match a fresh row sum.
+TEST(ScoreSortedOrderTest, TiesBrokenByAscendingId) {
+  // Rows 0..3 all sum to 10; rows 4 and 5 sum to 4 and 20.
+  const PreferenceMatrix m = PreferenceMatrix::FromRaw(
+      6, 2, {7, 3, 5, 5, 9, 1, 1, 9, 2, 2, 15, 5});
+  const std::vector<int> order = ScoreSortedOrder(m);
+  EXPECT_EQ(order, (std::vector<int>{4, 0, 1, 2, 3, 5}));
+}
+
+TEST(ScoreSortedOrderTest, CachedScoreMatchesRowSum) {
+  const Dataset ds = MakeData(97, 4, DataDistribution::kCorrelated, 21);
+  const PreferenceMatrix m = PreferenceMatrix::FromKnown(ds);
+  ASSERT_EQ(m.scores().size(), static_cast<size_t>(m.size()));
+  for (int t = 0; t < m.size(); ++t) {
+    double sum = 0.0;
+    for (int k = 0; k < m.dims(); ++k) sum += m.value(t, k);
+    EXPECT_EQ(m.Score(t), sum) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace crowdsky
