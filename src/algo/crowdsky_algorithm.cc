@@ -160,6 +160,7 @@ void AuditFinalState(const Dataset& dataset,
                                   PreferenceMatrix::FromKnown(dataset),
                                   report);
   auditor.AuditResult(result, session, dataset.size(), completion, report);
+  auditor.AuditTermination(result, session, report);
 }
 
 void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
@@ -186,9 +187,30 @@ void FillStats(const CrowdSession& session, const CrowdKnowledge& knowledge,
   // set of distinct pair questions that were actually resolved.
   c.resolved_questions = s.questions - s.retries - s.unresolved_questions;
   c.unresolved_questions = s.unresolved_questions;
+  // Budget-only by design: a governor denial is reported through the
+  // termination report below, not as budget exhaustion (and CanAsk() has
+  // a counting side effect on the governor that post-run reporting must
+  // not trigger).
   c.budget_exhausted = !c.complete && session.question_budget() >= 0 &&
-                       !session.CanAsk();
+                       !session.BudgetCanAsk();
   c.retries_exhausted = s.unresolved_questions > 0;
+
+  // Why the run stopped paying. Ungoverned runs still report their round
+  // count and unresolved set so the report is self-contained.
+  TerminationReport& term = result->termination;
+  term.rounds = s.rounds;
+  term.unresolved = session.unresolved_questions();
+  if (const RunGovernor* governor = session.governor();
+      governor != nullptr) {
+    term.governed = true;
+    term.reason = governor->reason();
+    term.cost_spent_usd = governor->cost_spent_usd();
+    term.cost_cap_usd = governor->cost_cap_usd();
+    term.round_cap = governor->options().max_rounds;
+    term.stall_cap = governor->options().stall_rounds;
+    term.denied_questions = governor->denied_questions();
+    term.cost_model = governor->cost_model();
+  }
 }
 
 void ApplyResumeState(const DriverResumeState* resume, int num_tuples,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "core/governor.h"
 #include "crowd/session.h"
 #include "persist/checkpoint.h"
 #include "prefgraph/preference_graph.h"
@@ -186,6 +187,10 @@ struct AlgoResult {
   int64_t backoff_rounds = 0;
   /// What was (and was not) determined when the run ended.
   CompletenessReport completeness;
+  /// Why the run stopped paying (governor caps, cancellation, or a
+  /// natural finish). The CompletenessReport names *what* is unresolved;
+  /// this names *why the money stopped*.
+  TerminationReport termination;
 };
 
 }  // namespace crowdsky

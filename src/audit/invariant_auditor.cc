@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <numeric>
 #include <sstream>
@@ -535,6 +536,17 @@ void InvariantAuditor::AuditJournalSnapshot(
         journal_rounds.push_back(r.round_questions);
         open = 0;
         break;
+      case JournalRecord::Kind::kTermination:
+        // The governor's stop marker is only ever appended at a quiescent
+        // tail: nothing may follow it, and the round it closes must have
+        // been sealed first (the epilogue is kRoundEnd + kTermination).
+        report->Check(index == records.size(), "journal.termination",
+                      tag + ": termination record is not the journal's "
+                            "last record");
+        report->Check(open == 0, "journal.termination",
+                      tag + ": termination record inside an open round (" +
+                          std::to_string(open) + " unsealed questions)");
+        break;
     }
   }
 
@@ -784,10 +796,153 @@ void InvariantAuditor::AuditResult(const AlgoResult& result,
                 "result.retries_exhausted",
                 "retries_exhausted flag disagrees with the session's "
                 "unresolved count");
+  // BudgetCanAsk, not CanAsk: the flag is budget-only (governor denials
+  // report through the TerminationReport), and CanAsk() would count a
+  // denial against the governor's ledger just by auditing.
   report->Check(!comp.budget_exhausted ||
-                    (session.question_budget() >= 0 && !session.CanAsk()),
+                    (session.question_budget() >= 0 &&
+                     !session.BudgetCanAsk()),
                 "result.budget_exhausted",
                 "budget_exhausted reported but the session can still ask");
+}
+
+void InvariantAuditor::AuditTermination(const AlgoResult& result,
+                                        const CrowdSession& session,
+                                        AuditReport* report) const {
+  const TerminationReport& term = result.termination;
+  const SessionStats& stats = session.stats();
+
+  // The headline guarantee: a governed run never spends past its cap.
+  // The tolerance matches the governor's own kCostEpsilon — cost is a sum
+  // of (reward * omega) terms, one per HIT, accumulated identically on
+  // both sides.
+  if (term.governed && term.cost_cap_usd > 0.0) {
+    report->Check(term.cost_spent_usd <= term.cost_cap_usd + 1e-9,
+                  "governor.cost_cap",
+                  "spent $" + std::to_string(term.cost_spent_usd) +
+                      " under a cap of $" +
+                      std::to_string(term.cost_cap_usd));
+  }
+  // The report's spend recomputes from the session's per-round history
+  // under the report's own pricing — the governor metered an independent
+  // HIT ledger (closed_hits_), so equality proves neither drifted.
+  if (term.governed) {
+    const double recomputed =
+        term.cost_model.Cost(session.questions_per_round());
+    report->Check(std::abs(term.cost_spent_usd - recomputed) <=
+                      1e-9 * (1.0 + recomputed),
+                  "governor.cost_ledger",
+                  "report claims $" + std::to_string(term.cost_spent_usd) +
+                      " spent, the session's rounds recompute to $" +
+                      std::to_string(recomputed));
+  }
+  report->Check(term.rounds == stats.rounds, "governor.rounds",
+                "report claims " + std::to_string(term.rounds) +
+                    " rounds, the session closed " +
+                    std::to_string(stats.rounds));
+
+  // Reason/ledger consistency: each stop reason implies its cap was
+  // actually configured, and the round cap was actually reached (the
+  // other caps can trip between the threshold checks, so only >= style
+  // facts hold for them).
+  const TerminationReason reason = term.reason;
+  report->Check(term.governed || reason == TerminationReason::kCompleted,
+                "governor.reason",
+                "ungoverned run reports stop reason '" +
+                    std::string(TerminationReasonName(reason)) + "'");
+  report->Check(
+      term.governed || (term.cost_cap_usd == 0.0 && term.round_cap == 0 &&
+                        term.stall_cap == 0),
+      "governor.reason", "ungoverned run reports nonzero caps");
+  if (reason == TerminationReason::kDollarCap) {
+    report->Check(term.cost_cap_usd > 0.0, "governor.reason",
+                  "dollar-cap stop without a configured dollar cap");
+  }
+  if (reason == TerminationReason::kRoundCap) {
+    report->Check(term.round_cap > 0 && term.rounds >= term.round_cap,
+                  "governor.reason",
+                  "round-cap stop at " + std::to_string(term.rounds) +
+                      " rounds under a cap of " +
+                      std::to_string(term.round_cap));
+  }
+  if (reason == TerminationReason::kStalled) {
+    report->Check(term.stall_cap > 0, "governor.reason",
+                  "stall stop without a configured stall watchdog");
+  }
+  // Denials are only counted after the stop latched; a run that completed
+  // naturally was never refused funding.
+  report->Check(term.denied_questions >= 0 &&
+                    (reason != TerminationReason::kCompleted ||
+                     term.denied_questions == 0),
+                "governor.denied",
+                "completed run reports " +
+                    std::to_string(term.denied_questions) +
+                    " denied questions");
+  report->Check(term.unresolved == session.unresolved_questions(),
+                "governor.unresolved",
+                "report lists " + std::to_string(term.unresolved.size()) +
+                    " unresolved questions, the session holds " +
+                    std::to_string(session.unresolved_questions().size()));
+}
+
+void InvariantAuditor::AuditResumeExtension(const AlgoResult& partial,
+                                            const AlgoResult& resumed,
+                                            AuditReport* report) const {
+  // In-by-default (Section 2.3) makes the partial skyline = proven
+  // skyline + undetermined tuples, so extending the run can only shrink
+  // it. Both id lists are ascending (checked by AuditResult), so set
+  // algebra via std::includes / set_difference is sound.
+  report->Check(std::includes(partial.skyline.begin(), partial.skyline.end(),
+                              resumed.skyline.begin(), resumed.skyline.end()),
+                "resume.skyline_subset",
+                "resumed skyline holds tuples the partial run had already "
+                "excluded");
+  std::vector<int> dropped;
+  std::set_difference(partial.skyline.begin(), partial.skyline.end(),
+                      resumed.skyline.begin(), resumed.skyline.end(),
+                      std::back_inserter(dropped));
+  const std::vector<int>& partial_und =
+      partial.completeness.undetermined_tuples;
+  const std::vector<int>& resumed_und =
+      resumed.completeness.undetermined_tuples;
+  report->Check(std::includes(partial_und.begin(), partial_und.end(),
+                              dropped.begin(), dropped.end()),
+                "resume.dropped_undetermined",
+                std::to_string(dropped.size()) +
+                    " tuples left the skyline on resume, but not all were "
+                    "undetermined in the partial run");
+  report->Check(std::includes(partial_und.begin(), partial_und.end(),
+                              resumed_und.begin(), resumed_und.end()),
+                "resume.undetermined_subset",
+                "resume marked a tuple undetermined that the partial run "
+                "had determined");
+
+  // Paid work only grows: the resumed run replays the partial run's
+  // journal as credits and then keeps going.
+  report->Check(resumed.questions >= partial.questions &&
+                    resumed.rounds >= partial.rounds &&
+                    resumed.completeness.resolved_questions >=
+                        partial.completeness.resolved_questions,
+                "resume.monotone",
+                "a paid-work counter shrank across the resume (questions " +
+                    std::to_string(partial.questions) + " -> " +
+                    std::to_string(resumed.questions) + ", rounds " +
+                    std::to_string(partial.rounds) + " -> " +
+                    std::to_string(resumed.rounds) + ")");
+
+  // The capped run's per-round history is a prefix of the resumed run's,
+  // except that its final round may have been cut short by the cap — the
+  // resume re-opens that round and closes it at its true size.
+  const std::vector<int64_t>& pr = partial.questions_per_round;
+  const std::vector<int64_t>& rr = resumed.questions_per_round;
+  bool prefix_ok = pr.size() <= rr.size();
+  for (size_t i = 0; prefix_ok && i < pr.size(); ++i) {
+    prefix_ok = i + 1 < pr.size() ? pr[i] == rr[i] : pr[i] <= rr[i];
+  }
+  report->Check(prefix_ok, "resume.round_prefix",
+                "partial per-round history (" + std::to_string(pr.size()) +
+                    " rounds) is not a prefix of the resumed history (" +
+                    std::to_string(rr.size()) + " rounds)");
 }
 
 void InvariantAuditor::AuditObservability(const obs::MetricRegistry& metrics,
@@ -832,12 +987,23 @@ void InvariantAuditor::AuditObservability(const obs::MetricRegistry& metrics,
     expected["journal.bytes_appended"] = journal->bytes_appended();
     expected["journal.fsyncs"] = journal->fsyncs();
   }
+  // Governor counters mirror the governor's own ledgers (which
+  // AuditTermination separately reconciles against the session).
+  const RunGovernor* governor = session.governor();
+  if (governor != nullptr) {
+    expected["governor.rounds_observed"] = governor->rounds_closed();
+    expected["governor.hits_funded"] = governor->hits_closed();
+    expected["governor.denied_questions"] = governor->denied_questions();
+    expected["governor.stops"] = governor->stopped() ? 1 : 0;
+  }
 
   // Every published counter under the deterministic prefixes must be a
   // known catalog name with the ledger's exact value; other prefixes
   // ("pool.", trace sizes) are scheduling-dependent and not audited.
   auto is_deterministic = [](const std::string& name) {
-    return name.rfind("crowdsky.", 0) == 0 || name.rfind("journal.", 0) == 0;
+    return name.rfind("crowdsky.", 0) == 0 ||
+           name.rfind("journal.", 0) == 0 ||
+           name.rfind("governor.", 0) == 0;
   };
   std::map<std::string, int64_t> present;
   for (const auto& [name, value] : metrics.CounterSamples()) {
@@ -860,12 +1026,21 @@ void InvariantAuditor::AuditObservability(const obs::MetricRegistry& metrics,
                   "catalog counter '" + name +
                       "' was never published to the registry");
   }
-  // The scraped cost gauge recomputes exactly (same doubles, same order).
+  // The scraped cost gauges recompute exactly (same doubles, same order).
   for (const auto& [name, value] : metrics.GaugeSamples()) {
     if (name == "crowdsky.cost_usd") {
       report->Check(value == model.Cost(session.questions_per_round()),
                     "obs.cost_gauge",
                     "cost gauge disagrees with the AMT cost model");
+    }
+    if (governor != nullptr && name == "governor.cost_spent_usd") {
+      report->Check(value == governor->cost_spent_usd(), "obs.cost_gauge",
+                    "governor spend gauge disagrees with the governor's "
+                    "HIT ledger");
+    }
+    if (governor != nullptr && name == "governor.cost_cap_usd") {
+      report->Check(value == governor->cost_cap_usd(), "obs.cost_gauge",
+                    "governor cap gauge disagrees with the configured cap");
     }
   }
 }

@@ -182,6 +182,31 @@ class InvariantAuditor {
                    int num_tuples, const CompletionState& completion,
                    AuditReport* report) const;
 
+  /// Termination-report consistency ("governor.*"): a governed run never
+  /// spends past its dollar cap (`cost_spent <= cap` within float
+  /// tolerance), the report's cost ledger recomputes from the session's
+  /// per-round history under the report's own cost model, the round count
+  /// mirrors the session, the stop reason implies the matching cap was
+  /// configured (and, for the round cap, actually reached), denials only
+  /// happen after a stop, and the unresolved set is exactly the
+  /// session's. Ungoverned results must report kCompleted with zero caps.
+  void AuditTermination(const AlgoResult& result,
+                        const CrowdSession& session,
+                        AuditReport* report) const;
+
+  /// Cross-run extension ("resume.*"): `resumed` continued `partial`'s
+  /// run directory under looser limits. Under the in-by-default rule the
+  /// partial skyline = proven skyline + undetermined tuples, so more
+  /// crowd work can only shrink it: the resumed skyline is a subset of
+  /// the partial one, every dropped member was undetermined in the
+  /// partial run, the undetermined set itself shrinks, the paid-work
+  /// counters grow monotonically, and the partial per-round history is a
+  /// prefix of the resumed one (the final capped round may be a strict
+  /// prefix of the round the resumed run closes).
+  void AuditResumeExtension(const AlgoResult& partial,
+                            const AlgoResult& resumed,
+                            AuditReport* report) const;
+
   /// Observability/ledger equality ("obs.*"): every `crowdsky.*` and
   /// `journal.*` counter in `metrics` is a *known* catalog name and equals
   /// the independently-maintained ledger it mirrors — SessionStats for the

@@ -48,12 +48,14 @@ struct Fingerprinter {
 class EngineCheckpointer : public DriverCheckpointHook {
  public:
   EngineCheckpointer(std::string path, uint64_t fingerprint, int num_tuples,
-                     int every_rounds, CrowdSession* session)
+                     int every_rounds, CrowdSession* session,
+                     const RunGovernor* governor)
       : path_(std::move(path)),
         fingerprint_(fingerprint),
         num_tuples_(num_tuples),
         every_rounds_(every_rounds),
-        session_(session) {}
+        session_(session),
+        governor_(governor) {}
 
   void MaybeCheckpoint(const CompletionState& completion,
                        const std::vector<int>& skyline,
@@ -64,7 +66,12 @@ class EngineCheckpointer : public DriverCheckpointHook {
                        "drivers must only offer checkpoints at quiescent "
                        "points (no open crowd round)");
     const int64_t rounds = session_->stats().rounds;
-    if (rounds - last_checkpoint_rounds_ < every_rounds_) return;
+    // A governor stop overrides the cadence: the terminated run leaves a
+    // checkpoint at its final quiescent point (once — the guard below
+    // keeps repeated post-stop offers from rewriting an identical file).
+    const bool force = governor_ != nullptr && governor_->stopped() &&
+                       rounds > last_checkpoint_rounds_;
+    if (!force && rounds - last_checkpoint_rounds_ < every_rounds_) return;
     persist::JournalWriter* journal = session_->journal();
     CROWDSKY_CHECK(journal != nullptr);
     journal->Sync().CheckOK();
@@ -94,6 +101,7 @@ class EngineCheckpointer : public DriverCheckpointHook {
   int num_tuples_;
   int64_t every_rounds_;
   CrowdSession* session_;
+  const RunGovernor* governor_;
   int64_t last_checkpoint_rounds_ = 0;
 };
 
@@ -206,6 +214,23 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         "algorithms (the sort baselines and the unary method need their "
         "full question sets)");
   }
+  if (options.governor.max_rounds < 0 || options.governor.max_cost_usd < 0 ||
+      options.governor.stall_rounds < 0 ||
+      options.governor.deadline_seconds < 0) {
+    return Status::InvalidArgument("governor limits must be non-negative");
+  }
+  if (options.governor.deadline_seconds > 0 &&
+      !options.governor.allow_wall_clock) {
+    return Status::InvalidArgument(
+        "governor.deadline_seconds requires governor.allow_wall_clock: a "
+        "wall-clock deadline makes the run nondeterministic");
+  }
+  if (options.governor.enabled() && !crowdsky_family) {
+    return Status::InvalidArgument(
+        "the run governor is only supported by the CrowdSky-family "
+        "algorithms (the sort baselines and the unary method have no "
+        "degraded path for a run stopped early)");
+  }
   if (options.durability.resume && options.durability.dir.empty()) {
     return Status::InvalidArgument(
         "durability.resume requires durability.dir");
@@ -278,6 +303,19 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
   session.SetRetryPolicy(options.retry);
   // Attach before any durability restore so replayed work is counted too.
   if (observer != nullptr) session.AttachObserver(observer.get());
+  // The governor meters with the engine's effective pricing (ω folded in)
+  // and reserves each question's full retry chain before funding it. It
+  // must see every round, so it too attaches before any restore: a
+  // resumed run's cost ledger covers the whole run, not just the part
+  // after the crash.
+  std::unique_ptr<RunGovernor> governor;
+  if (options.governor.enabled()) {
+    AmtCostModel pricing = options.cost_model;
+    pricing.workers_per_question = options.workers_per_question;
+    governor = std::make_unique<RunGovernor>(options.governor, pricing,
+                                             options.retry.max_retries);
+    session.AttachGovernor(governor.get());
+  }
 
   EngineResult result;
   CrowdSkyOptions crowdsky = options.crowdsky;
@@ -303,10 +341,34 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
           recovered,
           persist::PrepareResume(durability.dir, fingerprint,
                                  durability.sync, oracle.get(), &session));
+      // A governed resume must at least fund the replay: journal credits
+      // bypass the governor's gate (they spend no new money), so a cap
+      // below the already-journaled cost would end the run with
+      // cost_spent > cap — the one inequality the governor exists to
+      // prevent. Refuse up front instead. The open tail counts at its
+      // current size: it re-closes as a round no smaller than this.
+      if (governor != nullptr && options.governor.max_cost_usd > 0) {
+        std::vector<int64_t> replay_rounds = recovered.round_questions;
+        if (recovered.open_tail_questions > 0) {
+          replay_rounds.push_back(recovered.open_tail_questions);
+        }
+        const double replay_cost =
+            governor->cost_model().Cost(replay_rounds);
+        if (replay_cost > options.governor.max_cost_usd + 1e-9) {
+          return Status::FailedPrecondition(
+              "the journaled run already cost $" +
+              std::to_string(replay_cost) +
+              ", above the governor's dollar cap of $" +
+              std::to_string(options.governor.max_cost_usd) +
+              "; resume with a cap covering the replay (or 0 = uncapped)");
+        }
+      }
       journal = std::move(recovered.writer);
       result.durability.resumed = true;
       result.durability.used_checkpoint = recovered.used_checkpoint;
       result.durability.recovered_torn_tail = recovered.recovered_torn_tail;
+      result.durability.truncated_termination =
+          recovered.truncated_termination;
       resume_state.checkpoint =
           recovered.used_checkpoint ? &recovered.checkpoint : nullptr;
       resume_state.fold = &recovered.fold;
@@ -324,7 +386,8 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     if (crowdsky_family && durability.checkpoint_every_rounds > 0) {
       checkpointer = std::make_unique<EngineCheckpointer>(
           persist::CheckpointPath(durability.dir), fingerprint,
-          dataset.size(), durability.checkpoint_every_rounds, &session);
+          dataset.size(), durability.checkpoint_every_rounds, &session,
+          governor.get());
       crowdsky.checkpoint_hook = checkpointer.get();
     }
   }
@@ -358,6 +421,14 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         session.credits_remaining() == 0,
         "resumed run finished without consuming every journaled answer — "
         "the re-execution diverged from the original run");
+    // A governed stop leaves its marker as the journal's final record
+    // (the revocable epilogue PrepareResume truncates when the run is
+    // later extended under a larger budget). The driver has wound down:
+    // no open round, every credit consumed — exactly the quiescent shape
+    // JournalTermination requires.
+    if (governor != nullptr && governor->stopped()) {
+      session.JournalTermination(result.algo.termination);
+    }
     CROWDSKY_RETURN_NOT_OK(journal->Sync());
     result.durability.replayed_pair_attempts =
         session.replayed_pair_attempts();
@@ -394,6 +465,21 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
       metrics.FindOrCreateCounter("journal.bytes_appended")
           ->Add(journal->bytes_appended());
       metrics.FindOrCreateCounter("journal.fsyncs")->Add(journal->fsyncs());
+    }
+    if (governor != nullptr) {
+      // Deterministic (audited) mirrors of the governor's own ledgers.
+      metrics.FindOrCreateCounter("governor.rounds_observed")
+          ->Add(governor->rounds_closed());
+      metrics.FindOrCreateCounter("governor.hits_funded")
+          ->Add(governor->hits_closed());
+      metrics.FindOrCreateCounter("governor.denied_questions")
+          ->Add(governor->denied_questions());
+      metrics.FindOrCreateCounter("governor.stops")
+          ->Add(governor->stopped() ? 1 : 0);
+      metrics.FindOrCreateGauge("governor.cost_spent_usd")
+          ->Set(governor->cost_spent_usd());
+      metrics.FindOrCreateGauge("governor.cost_cap_usd")
+          ->Set(governor->cost_cap_usd());
     }
     const ThreadPool::StatsSnapshot pool = ThreadPool::Global().stats();
     metrics.FindOrCreateCounter("pool.tasks_submitted")

@@ -20,6 +20,7 @@
 #include "algo/metrics.h"
 #include "algo/run_result.h"
 #include "common/result.h"
+#include "core/governor.h"
 #include "crowd/cost_model.h"
 #include "crowd/marketplace.h"
 #include "crowd/worker_model.h"
@@ -81,6 +82,15 @@ struct EngineOptions {
   RetryPolicy retry;
 
   AmtCostModel cost_model;
+
+  /// Run governor (src/core/governor.h): round cap, dollar cap on the
+  /// paper's cost formula, stall watchdog, cooperative cancellation, and
+  /// an opt-in wall-clock deadline. Default-constructed = disabled, and
+  /// the run is byte-identical to an ungoverned engine. Only the
+  /// CrowdSky-family algorithms support governing (they are the ones with
+  /// a degraded path for unfinished work). Deliberately excluded from the
+  /// run fingerprint: a capped run must be resumable under a larger cap.
+  GovernorOptions governor;
 
   /// Crash safety (src/persist): with a journal directory set, every
   /// resolved crowd answer is written to an append-only, checksummed
@@ -147,6 +157,9 @@ struct EngineResult {
     bool used_checkpoint = false;
     /// The crash left a half-written record that recovery truncated.
     bool recovered_torn_tail = false;
+    /// The journal ended in a governor-termination epilogue that recovery
+    /// truncated so this run could extend the partial result.
+    bool truncated_termination = false;
     /// Paid pair attempts / unary questions answered from the journal
     /// instead of the oracle (0 on a fresh run).
     int64_t replayed_pair_attempts = 0;
@@ -185,10 +198,11 @@ struct EngineResult {
 
 /// The run-configuration fingerprint stamped into journals and
 /// checkpoints: a stable hash of the dataset contents and every option
-/// that affects the question/answer stream (the audit flag and the
-/// durability options themselves are deliberately excluded, so a resume
-/// may e.g. turn auditing on or change the checkpoint cadence). A resume
-/// whose fingerprint differs from the journal's is refused.
+/// that affects the question/answer stream (the audit flag, the
+/// durability options themselves and the governor are deliberately
+/// excluded — a resume may e.g. turn auditing on, change the checkpoint
+/// cadence, or raise a dollar/round cap to extend a terminated run). A
+/// resume whose fingerprint differs from the journal's is refused.
 uint64_t RunFingerprint(const Dataset& dataset, const EngineOptions& options);
 
 /// Runs a crowd-enabled skyline query. Fails on invalid options (no crowd

@@ -1,0 +1,138 @@
+#include "core/governor.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace crowdsky {
+namespace {
+
+// Dollar comparisons tolerate one ULP-ish slack: the ledger itself is
+// integer HITs, only the final reward multiply is floating point.
+constexpr double kCostEpsilon = 1e-9;
+
+// The governor's single wall-clock read, used only by the opt-in deadline
+// path (GovernorOptions::allow_wall_clock). Everything else the governor
+// decides is derived from rounds and ledgers. Kept here, not in the
+// header, so the CS-CLK002 allowlist entry scopes to exactly this file.
+double GovernorNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* TerminationReasonName(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kRoundCap:
+      return "round_cap";
+    case TerminationReason::kDollarCap:
+      return "dollar_cap";
+    case TerminationReason::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+std::string TerminationReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "termination{reason=%s governed=%d rounds=%lld "
+                "cost_spent=%.2f cost_cap=%.2f round_cap=%lld "
+                "denied=%lld unresolved=%zu}",
+                TerminationReasonName(reason), governed ? 1 : 0,
+                static_cast<long long>(rounds), cost_spent_usd, cost_cap_usd,
+                static_cast<long long>(round_cap),
+                static_cast<long long>(denied_questions), unresolved.size());
+  return std::string(buf);
+}
+
+RunGovernor::RunGovernor(const GovernorOptions& options,
+                         const AmtCostModel& model, int max_retries)
+    : options_(options), model_(model), max_retries_(max_retries) {
+  CROWDSKY_CHECK(options_.max_rounds >= 0);
+  CROWDSKY_CHECK(options_.max_cost_usd >= 0.0);
+  CROWDSKY_CHECK(options_.stall_rounds >= 0);
+  CROWDSKY_CHECK(options_.deadline_seconds >= 0.0);
+  CROWDSKY_CHECK(max_retries_ >= 0);
+  CROWDSKY_CHECK(model_.questions_per_hit > 0);
+  CROWDSKY_CHECK_MSG(
+      options_.deadline_seconds == 0.0 || options_.allow_wall_clock,
+      "a wall-clock deadline requires GovernorOptions::allow_wall_clock");
+  if (options_.deadline_seconds > 0.0) {
+    deadline_at_ = GovernorNowSeconds() + options_.deadline_seconds;
+  }
+}
+
+void RunGovernor::PollExternal() {
+  if (stopped_) return;
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    Stop(TerminationReason::kCancelled);
+    return;
+  }
+  if (deadline_at_ >= 0.0 && GovernorNowSeconds() >= deadline_at_) {
+    Stop(TerminationReason::kDeadline);
+  }
+}
+
+void RunGovernor::Stop(TerminationReason reason) {
+  if (stopped_) return;
+  stopped_ = true;
+  reason_ = reason;
+}
+
+bool RunGovernor::CanFundQuestion(int64_t open_round_questions) {
+  CROWDSKY_CHECK(open_round_questions >= 0);
+  PollExternal();
+  if (!stopped_ && options_.max_cost_usd > 0.0) {
+    // Reserve the question's worst case up front: 1 + max_retries paid
+    // attempts, all landing in the currently open round. Once funded, the
+    // retry loop never stalls mid-question, so the journal stream of a
+    // capped run stays a prefix of the uncapped run's stream.
+    const int64_t worst_open =
+        open_round_questions + 1 + static_cast<int64_t>(max_retries_);
+    const int64_t worst_hits =
+        closed_hits_ + (worst_open + model_.questions_per_hit - 1) /
+                           model_.questions_per_hit;
+    if (HitCost(worst_hits) > options_.max_cost_usd + kCostEpsilon) {
+      Stop(TerminationReason::kDollarCap);
+    }
+  }
+  if (stopped_) {
+    ++denied_;
+    return false;
+  }
+  return true;
+}
+
+void RunGovernor::OnRoundClosed(int64_t round_questions,
+                                int64_t resolved_total) {
+  CROWDSKY_CHECK(round_questions > 0);
+  closed_hits_ += (round_questions + model_.questions_per_hit - 1) /
+                  model_.questions_per_hit;
+  ++rounds_closed_;
+  if (resolved_total == last_resolved_total_) {
+    ++stall_streak_;
+  } else {
+    CROWDSKY_CHECK(resolved_total > last_resolved_total_);
+    stall_streak_ = 0;
+    last_resolved_total_ = resolved_total;
+  }
+  PollExternal();
+  if (!stopped_ && options_.max_rounds > 0 &&
+      rounds_closed_ >= options_.max_rounds) {
+    Stop(TerminationReason::kRoundCap);
+  }
+  if (!stopped_ && options_.stall_rounds > 0 &&
+      stall_streak_ >= options_.stall_rounds) {
+    Stop(TerminationReason::kStalled);
+  }
+}
+
+}  // namespace crowdsky

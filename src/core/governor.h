@@ -1,0 +1,184 @@
+// Run governor: deadlines, dollar caps and cooperative cancellation.
+//
+// CrowdSky runs are open-ended — the paper's cost model (Section 6.2,
+// cost = 0.02·ω·Σ⌈|Qᵢ|/5⌉) puts no a-priori bound on what a query spends,
+// and a slow or adversarial crowd can stall a run forever. The governor is
+// the single policy point that bounds a run: a round cap, a dollar cap
+// expressed directly in the paper's cost formula, a stall watchdog, an
+// external CancellationToken, and (opt-in, explicitly nondeterministic) a
+// wall-clock deadline.
+//
+// Granularity contract: the governor gates at *question start*, never
+// mid-retry. `CanFundQuestion` reserves the worst case (1 + max_retries
+// paid attempts) before admitting a question, so an admitted question's
+// retry loop always runs to completion and `cost_spent <= cap` holds by
+// induction — and, crucially, the journal record stream of a capped run
+// is a byte-exact prefix of the uninterrupted run's stream, which is what
+// makes resume-under-a-larger-cap replay with zero re-paid questions.
+//
+// Determinism: with the deadline disabled and no cancellation token, every
+// decision is a pure function of the session's ledgers, so governed runs
+// stay bit-identical across replays. The wall-clock read lives behind
+// `GovernorOptions::allow_wall_clock` and is confined to governor.cc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "crowd/cost_model.h"
+#include "crowd/question.h"
+
+namespace crowdsky {
+
+/// Thread-safe external cancel hook. The caller keeps the token alive for
+/// the duration of the run and may call Cancel() from any thread; the
+/// governor observes it at round boundaries and before each paid ask.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Limits for one run. Zero means "unlimited" for every numeric field; a
+/// default-constructed GovernorOptions disables the governor entirely and
+/// the engine's output is byte-identical to an ungoverned run.
+struct GovernorOptions {
+  /// Stop after this many closed rounds (0 = unlimited).
+  int64_t max_rounds = 0;
+  /// Hard dollar cap on the paper's cost formula (0 = uncapped). A
+  /// question is only funded when its worst-case retry chain still fits.
+  double max_cost_usd = 0.0;
+  /// Trip after this many consecutive closed rounds that resolved zero
+  /// new questions (0 = watchdog off).
+  int stall_rounds = 0;
+  /// Wall-clock deadline in seconds from governor construction (0 = off).
+  /// Requires allow_wall_clock: deadlines make runs nondeterministic.
+  double deadline_seconds = 0.0;
+  /// Explicit opt-in to the one wall-clock read. Without it, a nonzero
+  /// deadline_seconds fails engine validation instead of silently
+  /// breaking bit-identical replay.
+  bool allow_wall_clock = false;
+  /// External cancel hook, not owned; may be flipped from another thread.
+  CancellationToken* cancel = nullptr;
+
+  bool enabled() const {
+    return max_rounds > 0 || max_cost_usd > 0.0 || stall_rounds > 0 ||
+           deadline_seconds > 0.0 || cancel != nullptr;
+  }
+};
+
+/// Why a run stopped. kCompleted means the driver ran to its natural end
+/// (which may still be a degraded/partial result under retry caps).
+enum class TerminationReason : uint8_t {
+  kCompleted = 0,
+  kCancelled = 1,
+  kDeadline = 2,
+  kRoundCap = 3,
+  kDollarCap = 4,
+  kStalled = 5,
+};
+
+/// Stable lowercase name ("completed", "dollar_cap", ...) for reports,
+/// logs and the chaos harness's RESULT lines.
+const char* TerminationReasonName(TerminationReason reason);
+
+/// How a run ended, attached to AlgoResult next to the CompletenessReport:
+/// the CompletenessReport says *what* is unresolved, the TerminationReport
+/// says *why the run stopped paying*.
+struct TerminationReport {
+  /// True when a governor was attached (even if it never tripped).
+  bool governed = false;
+  TerminationReason reason = TerminationReason::kCompleted;
+  /// Closed rounds at termination.
+  int64_t rounds = 0;
+  /// Cost of all closed rounds under `cost_model` (the governor's ledger;
+  /// the auditor recomputes it from the session's per-round vector).
+  double cost_spent_usd = 0.0;
+  /// Configured caps, 0 = unlimited — kept so reason/ledger consistency
+  /// is auditable from the report alone.
+  double cost_cap_usd = 0.0;
+  int64_t round_cap = 0;
+  int stall_cap = 0;
+  /// Paid asks the governor refused to fund.
+  int64_t denied_questions = 0;
+  /// Pricing the governor metered with.
+  AmtCostModel cost_model;
+  /// Questions abandoned without an answer (canonical order; mirrors
+  /// CrowdSession::unresolved_questions()).
+  std::vector<PairQuestion> unresolved;
+
+  std::string ToString() const;
+};
+
+/// Per-run governor instance. Owned by the engine, consulted by
+/// CrowdSession before every paid ask and at every round close. Not
+/// thread-safe by itself: all calls come from the driver thread (the
+/// CancellationToken is the only cross-thread channel).
+class RunGovernor {
+ public:
+  /// `model` is the engine's effective pricing (options.workers_per_question
+  /// folded in); `max_retries` is the retry policy's cap, reserved in
+  /// full before a question is funded.
+  RunGovernor(const GovernorOptions& options, const AmtCostModel& model,
+              int max_retries);
+
+  /// Whether a new paid question (worst case 1 + max_retries attempts on
+  /// top of `open_round_questions` already open) still fits every limit.
+  /// Latches the stop state and counts the denial when it does not.
+  bool CanFundQuestion(int64_t open_round_questions);
+
+  /// Round-boundary bookkeeping and checks. `round_questions` is the
+  /// closed round's |Q_i|; `resolved_total` is a monotone count of
+  /// resolved questions (cache size + unary), used by the stall watchdog.
+  void OnRoundClosed(int64_t round_questions, int64_t resolved_total);
+
+  bool stopped() const { return stopped_; }
+  TerminationReason reason() const { return reason_; }
+
+  /// Cost of all closed rounds (open-round questions are reserved by
+  /// CanFundQuestion but only billed when their round closes).
+  double cost_spent_usd() const { return HitCost(closed_hits_); }
+  double cost_cap_usd() const { return options_.max_cost_usd; }
+  int64_t rounds_closed() const { return rounds_closed_; }
+  int64_t hits_closed() const { return closed_hits_; }
+  int64_t denied_questions() const { return denied_; }
+
+  const GovernorOptions& options() const { return options_; }
+  const AmtCostModel& cost_model() const { return model_; }
+
+ private:
+  /// Checks the external signals (cancel token, armed deadline); the
+  /// highest-priority one that fires latches the stop state.
+  void PollExternal();
+  /// First stop wins; later causes are ignored (the report carries one
+  /// reason, and the journal's termination record must be stable).
+  void Stop(TerminationReason reason);
+  double HitCost(int64_t hits) const {
+    return model_.reward_per_hit * model_.workers_per_question *
+           static_cast<double>(hits);
+  }
+
+  const GovernorOptions options_;
+  const AmtCostModel model_;
+  const int max_retries_;
+  /// Armed deadline as an absolute GovernorNowSeconds() value; < 0 = off.
+  double deadline_at_ = -1.0;
+
+  bool stopped_ = false;
+  TerminationReason reason_ = TerminationReason::kCompleted;
+  int64_t closed_hits_ = 0;
+  int64_t rounds_closed_ = 0;
+  int64_t denied_ = 0;
+  int stall_streak_ = 0;
+  int64_t last_resolved_total_ = 0;
+};
+
+}  // namespace crowdsky

@@ -141,7 +141,11 @@ void CrowdSession::AppendPairRecord(
 CrowdSession::AskResult CrowdSession::RunAskLoop(
     const PairQuestion& canonical, bool flipped, const AskContext& ctx,
     const persist::JournalRecord* scripted) {
-  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
+  // The precondition is budget-only: the governor's gate was consulted by
+  // the caller through CanAsk(), and a cancellation token flipping between
+  // that check and this call must not abort the process — the admitted
+  // question simply runs (funding is a commitment, see BudgetCanAsk()).
+  CROWDSKY_CHECK_MSG(BudgetCanAsk(), "question budget exhausted");
   size_t scripted_index = 0;
   std::vector<persist::AttemptOutcome> attempts;
   for (int attempt = 0;; ++attempt) {
@@ -187,7 +191,7 @@ CrowdSession::AskResult CrowdSession::RunAskLoop(
     stats_.backoff_rounds =
         SaturatingAdd(stats_.backoff_rounds, outcome.extra_latency_rounds);
     obs::Add(hooks_.backoff_rounds, outcome.extra_latency_rounds);
-    if (attempt >= retry_.max_retries || !CanAsk()) {
+    if (attempt >= retry_.max_retries || !BudgetCanAsk()) {
       // Retry cap hit (or the budget cannot fund another attempt): give
       // up on this question for the rest of the session.
       unresolved_.insert(canonical);
@@ -266,7 +270,10 @@ bool CrowdSession::IsUnresolved(int attr, int u, int v) const {
 }
 
 double CrowdSession::AskUnary(int id, int attr, const AskContext& ctx) {
-  CROWDSKY_CHECK_MSG(CanAsk(), "question budget exhausted");
+  // Budget-only for the same reason as RunAskLoop: the caller gated
+  // through CanAsk(), and an asynchronous cancel in between must degrade
+  // gracefully, not CHECK-fail.
+  CROWDSKY_CHECK_MSG(BudgetCanAsk(), "question budget exhausted");
   ++stats_.unary_questions;
   obs::Add(hooks_.unary_questions, 1);
   NoteRoundActivity();
@@ -308,6 +315,9 @@ void CrowdSession::EndRound() {
   open_round_questions_ = 0;
   obs::Add(hooks_.rounds, 1);
   obs::Observe(hooks_.round_questions, closed);
+  if (governor_ != nullptr) {
+    governor_->OnRoundClosed(closed, ResolvedTotal());
+  }
   if (round_start_ns_ >= 0) {
     obs_->trace().Record("crowd.round", round_start_ns_,
                          obs_->trace().NowNs(),
@@ -330,6 +340,22 @@ void CrowdSession::EndRound() {
     record.round_questions = closed;
     AppendToJournal(std::move(record));
   }
+}
+
+void CrowdSession::JournalTermination(const TerminationReport& report) {
+  CROWDSKY_CHECK_MSG(journal_ != nullptr,
+                     "JournalTermination requires an attached journal");
+  CROWDSKY_CHECK_MSG(open_round_questions_ == 0,
+                     "termination record inside an open round");
+  CROWDSKY_CHECK_MSG(credits_.empty(),
+                     "termination record with journal credits unconsumed");
+  persist::JournalRecord record;
+  record.kind = persist::JournalRecord::Kind::kTermination;
+  record.termination_reason = static_cast<uint8_t>(report.reason);
+  record.termination_rounds = report.rounds;
+  record.termination_cost_spent = report.cost_spent_usd;
+  record.termination_cost_cap = report.cost_cap_usd;
+  AppendToJournal(std::move(record));
 }
 
 void CrowdSession::RestoreFromJournal(
@@ -366,7 +392,17 @@ void CrowdSession::RestoreFromJournal(
         ++stats_.rounds;
         obs::Add(hooks_.rounds, 1);
         obs::Observe(hooks_.round_questions, open_round_questions_);
+        if (governor_ != nullptr) {
+          governor_->OnRoundClosed(open_round_questions_, ResolvedTotal());
+        }
         open_round_questions_ = 0;
+        break;
+      case persist::JournalRecord::Kind::kTermination:
+        // PrepareResume truncates the termination epilogue before handing
+        // records to the session; reaching one here means the journal was
+        // fed in unprocessed.
+        CROWDSKY_CHECK_MSG(false,
+                           "termination record in a folded journal prefix");
         break;
     }
     ++journal_position_;

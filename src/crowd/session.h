@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/governor.h"
 #include "crowd/oracle.h"
 #include "crowd/question.h"
 #include "obs/observer.h"
@@ -130,19 +131,39 @@ class CrowdSession {
   /// HITs with a fixed ω multiplier — budgets therefore stay comparable
   /// across voting policies, and worker_answers may legitimately exceed
   /// budget * ω. Failed attempts and retries each consume one unit.
-  void SetQuestionBudget(int64_t budget) { budget_ = budget; }
-  /// True iff at least one more paid question fits the budget. Cached
-  /// answers are always free.
+  ///
+  /// Fresh-session-only: changing the budget after any crowd activity
+  /// (including a journal restore) would invalidate CanAsk() decisions
+  /// the run already acted on.
+  void SetQuestionBudget(int64_t budget) {
+    CROWDSKY_CHECK_MSG(FreshSession(),
+                       "SetQuestionBudget is fresh-session-only: set the "
+                       "budget before any question is asked or replayed");
+    budget_ = budget;
+  }
+  /// True iff the next paid question is both within the budget and funded
+  /// by the governor (if one is attached). Cached answers are always
+  /// free, and journal credits — questions the crashed run already paid
+  /// for — are consumed without consulting the governor: replay spends no
+  /// new money, and an uninterruptible replay is what keeps the on-disk
+  /// record stream a clean prefix across governed resumes.
   bool CanAsk() const {
-    return budget_ < 0 ||
-           stats_.questions + stats_.unary_questions < budget_;
+    return BudgetCanAsk() &&
+           (governor_ == nullptr || !credits_.empty() ||
+            governor_->CanFundQuestion(open_round_questions_));
   }
 
   /// Configures the retry/requeue behaviour for failed attempts.
+  /// Fresh-session-only, like SetQuestionBudget: the retry cap shapes
+  /// journal records and the governor's worst-case reservation, so it
+  /// cannot change once either has observed it.
   void SetRetryPolicy(const RetryPolicy& policy) {
     CROWDSKY_CHECK(policy.max_retries >= 0 &&
                    policy.backoff_base_rounds >= 0 &&
                    policy.max_backoff_rounds >= 0);
+    CROWDSKY_CHECK_MSG(FreshSession(),
+                       "SetRetryPolicy is fresh-session-only: set the "
+                       "policy before any question is asked or replayed");
     retry_ = policy;
   }
   const RetryPolicy& retry_policy() const { return retry_; }
@@ -214,6 +235,18 @@ class CrowdSession {
   }
   /// The configured question budget (negative = unlimited).
   int64_t question_budget() const { return budget_; }
+  /// The budget half of CanAsk(), with no governor consultation (and so
+  /// no side effects — CanFundQuestion counts denials). Post-run
+  /// reporting and the auditor use this; RunAskLoop's entry precondition
+  /// and its mid-retry give-up use it because a question the governor
+  /// admitted is *funded* — its worst-case retry chain was reserved up
+  /// front — so the governor never interrupts an attempt sequence (which
+  /// would fork the journal's record shape and break
+  /// resume-under-a-larger-cap).
+  bool BudgetCanAsk() const {
+    return budget_ < 0 ||
+           stats_.questions + stats_.unary_questions < budget_;
+  }
 
   // --- observability ----------------------------------------------------
 
@@ -226,6 +259,26 @@ class CrowdSession {
   /// Call before RestoreFromJournal so replayed work is counted too.
   void AttachObserver(obs::RunObserver* observer);
   obs::RunObserver* observer() const { return obs_; }
+
+  // --- governance --------------------------------------------------------
+
+  /// Attaches the run governor (not owned; must outlive the session).
+  /// Every subsequent paid ask consults it through CanAsk(), and every
+  /// closed round feeds its cost/stall ledgers. Fresh-session-only and
+  /// before RestoreFromJournal, so replayed rounds are metered too and a
+  /// resumed run's cost ledger covers the whole run, not just the part
+  /// after the crash.
+  void AttachGovernor(RunGovernor* governor) {
+    CROWDSKY_CHECK(governor != nullptr);
+    CROWDSKY_CHECK_MSG(governor_ == nullptr, "governor already attached");
+    CROWDSKY_CHECK_MSG(FreshSession(),
+                       "attach the governor before any crowd activity (and "
+                       "before RestoreFromJournal) so its ledgers cover the "
+                       "whole run");
+    governor_ = governor;
+  }
+  /// The attached governor (not owned), or nullptr.
+  RunGovernor* governor() const { return governor_; }
 
   // --- durability -------------------------------------------------------
 
@@ -242,6 +295,14 @@ class CrowdSession {
   /// session does not own it — the auditor syncs and re-reads it through
   /// a const session reference.
   persist::JournalWriter* journal() const { return journal_; }
+
+  /// Appends the governor's stop marker as the journal's final record.
+  /// Must be called at a quiescent point — no open round, every credit
+  /// consumed — so the epilogue (the preceding kRoundEnd plus this
+  /// record) is exactly what PrepareResume truncates to extend the run
+  /// under a larger budget. Goes through the normal append path so the
+  /// durable-position and records-appended ledgers stay consistent.
+  void JournalTermination(const TerminationReport& report);
 
   /// Rebuilds session state from a recovered journal. Must be called on a
   /// fresh session, after SetRetryPolicy/SetQuestionBudget and before the
@@ -272,6 +333,18 @@ class CrowdSession {
   int64_t replayed_unary_questions() const { return replayed_unary_; }
 
  private:
+  /// True until the session has asked, replayed or cached anything —
+  /// the precondition for every configuration setter above.
+  bool FreshSession() const {
+    return stats_.questions == 0 && stats_.unary_questions == 0 &&
+           stats_.rounds == 0 && stats_.cache_hits == 0 &&
+           journal_position_ == 0 && cache_.empty();
+  }
+  /// Monotone resolved-work measure for the governor's stall watchdog:
+  /// distinct answered pair questions plus unary questions.
+  int64_t ResolvedTotal() const {
+    return static_cast<int64_t>(cache_.size()) + stats_.unary_questions;
+  }
   /// Charges one paid attempt for `canonical` to the budget and logs.
   void ChargeAttempt(const PairQuestion& canonical);
   /// The retry loop shared by live asks and journal replay: when
@@ -318,6 +391,7 @@ class CrowdSession {
   std::vector<RetryEvent> retry_events_;
   int64_t open_round_questions_ = 0;
   int64_t budget_ = -1;
+  RunGovernor* governor_ = nullptr;
   persist::JournalWriter* journal_ = nullptr;
   std::deque<persist::JournalRecord> credits_;
   int64_t journal_position_ = 0;

@@ -64,6 +64,12 @@ std::string EncodePayload(const JournalRecord& r) {
     case JournalRecord::Kind::kRoundEnd:
       w.PutI64(r.round_questions);
       break;
+    case JournalRecord::Kind::kTermination:
+      w.PutU8(r.termination_reason);
+      w.PutI64(r.termination_rounds);
+      w.PutF64(r.termination_cost_spent);
+      w.PutF64(r.termination_cost_cap);
+      break;
   }
   w.PutU64(r.fault_attempt_draws);
   w.PutU64(r.fault_vote_draws);
@@ -73,7 +79,8 @@ std::string EncodePayload(const JournalRecord& r) {
 bool DecodePayload(std::string_view payload, JournalRecord* out) {
   ByteReader r(payload);
   const uint8_t kind = r.GetU8();
-  if (!r.ok() || kind > static_cast<uint8_t>(JournalRecord::Kind::kRoundEnd)) {
+  if (!r.ok() ||
+      kind > static_cast<uint8_t>(JournalRecord::Kind::kTermination)) {
     return false;
   }
   out->kind = static_cast<JournalRecord::Kind>(kind);
@@ -117,6 +124,20 @@ bool DecodePayload(std::string_view payload, JournalRecord* out) {
     case JournalRecord::Kind::kRoundEnd:
       out->round_questions = r.GetI64();
       if (r.ok() && out->round_questions <= 0) return false;
+      break;
+    case JournalRecord::Kind::kTermination:
+      out->termination_reason = r.GetU8();
+      // 5 == TerminationReason::kStalled, the largest reason; persist/
+      // cannot name the core/ enum without inverting the layering.
+      if (r.ok() && out->termination_reason > 5) return false;
+      out->termination_rounds = r.GetI64();
+      out->termination_cost_spent = r.GetF64();
+      out->termination_cost_cap = r.GetF64();
+      if (r.ok() &&
+          (out->termination_rounds < 0 || out->termination_cost_spent < 0.0 ||
+           out->termination_cost_cap < 0.0)) {
+        return false;
+      }
       break;
   }
   out->fault_attempt_draws = r.GetU64();

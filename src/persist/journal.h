@@ -65,9 +65,10 @@ struct AttemptOutcome {
 /// One durable journal entry.
 struct JournalRecord {
   enum class Kind : uint8_t {
-    kPairAsk = 0,   ///< a resolved (or given-up) pair question
-    kUnary = 1,     ///< one unary question
-    kRoundEnd = 2,  ///< a crowd round closed
+    kPairAsk = 0,      ///< a resolved (or given-up) pair question
+    kUnary = 1,        ///< one unary question
+    kRoundEnd = 2,     ///< a crowd round closed
+    kTermination = 3,  ///< the governor stopped the run (always last)
   };
   Kind kind = Kind::kPairAsk;
 
@@ -86,6 +87,17 @@ struct JournalRecord {
 
   // kRoundEnd: how many questions the closed round held.
   int64_t round_questions = 0;
+
+  // kTermination: why the governor stopped the run, and the ledger at the
+  // stop (a TerminationReason as uint8_t; persist/ stays below core/).
+  // Resume treats this record — and the quiescent kRoundEnd before it —
+  // as a revocable epilogue: PrepareResume truncates both so a run capped
+  // at C resumes under C' > C on a byte-exact prefix of the uncapped
+  // stream.
+  uint8_t termination_reason = 0;
+  int64_t termination_rounds = 0;
+  double termination_cost_spent = 0.0;
+  double termination_cost_cap = 0.0;
 
   // Fault-trace cursor: total draws the marketplace's FaultInjector has
   // made after this record (both 0 when no injector is attached). Recovery

@@ -80,6 +80,10 @@ Status RedriveRecord(CrowdOracle* oracle, const JournalRecord& record,
     }
     case JournalRecord::Kind::kRoundEnd:
       break;  // rounds are session bookkeeping; nothing to re-drive
+    case JournalRecord::Kind::kTermination:
+      // PrepareResume strips the termination epilogue before re-driving;
+      // one surviving here is not at the tail, which no writer produces.
+      return Diverged(index, "termination record not at the journal tail");
   }
   if (const FaultInjector* injector = oracle->fault_injector();
       injector != nullptr) {
@@ -122,7 +126,54 @@ Result<ResumeOutcome> PrepareResume(const std::string& dir,
     out.recovered_torn_tail = true;
     out.torn_bytes = recovered.torn_bytes;
   }
+
+  // A governor-terminated run leaves a *revocable epilogue* at the tail:
+  // the kTermination marker and the quiescent kRoundEnd right before it.
+  // Both describe the stop, not crowd answers — and a capped run's final
+  // round may be a strict prefix of the round an uncapped run would close
+  // at the same position. Dropping them turns the journal into a
+  // byte-exact prefix of the uninterrupted run's stream, so resuming
+  // under a larger budget replays every paid answer as a credit and
+  // re-closes the final round at its true size (re-appending an identical
+  // record when the budgets agree — the truncation is idempotent).
+  if (!recovered.records.empty() &&
+      recovered.records.back().kind == JournalRecord::Kind::kTermination) {
+    int64_t epilogue_bytes =
+        static_cast<int64_t>(EncodeRecord(recovered.records.back()).size());
+    recovered.records.pop_back();
+    if (!recovered.records.empty() &&
+        recovered.records.back().kind == JournalRecord::Kind::kRoundEnd) {
+      epilogue_bytes +=
+          static_cast<int64_t>(EncodeRecord(recovered.records.back()).size());
+      recovered.records.pop_back();
+    }
+    recovered.valid_bytes -= epilogue_bytes;
+    CROWDSKY_RETURN_NOT_OK(
+        TruncateJournal(journal_path, recovered.valid_bytes));
+    out.truncated_termination = true;
+  }
   out.journal_records = static_cast<int64_t>(recovered.records.size());
+
+  // Per-round counts of the surviving records, for the engine's
+  // governed-resume validation (a cap must at least fund the replay).
+  int64_t tail = 0;
+  for (const JournalRecord& r : recovered.records) {
+    switch (r.kind) {
+      case JournalRecord::Kind::kPairAsk:
+        tail += static_cast<int64_t>(r.attempts.size());
+        break;
+      case JournalRecord::Kind::kUnary:
+        ++tail;
+        break;
+      case JournalRecord::Kind::kRoundEnd:
+        out.round_questions.push_back(r.round_questions);
+        tail = 0;
+        break;
+      case JournalRecord::Kind::kTermination:
+        break;  // truncated above; unreachable
+    }
+  }
+  out.open_tail_questions = tail;
 
   // A checkpoint is an optimization, never a requirement: missing,
   // corrupt, mismatched or stale checkpoints all degrade to a journal-only

@@ -2,7 +2,10 @@
 // run.
 //
 // PrepareResume is the one entry point. It
-//   1. reads the journal, truncating any torn tail left by the crash,
+//   1. reads the journal, truncating any torn tail left by the crash and
+//      any governor-termination epilogue (a capped/cancelled run's stop
+//      marker plus its final round boundary — revocable bookkeeping, not
+//      answers), so a terminated run can resume under a larger budget,
 //   2. refuses to proceed if the journal's config fingerprint does not
 //      match the resuming run's,
 //   3. loads the checkpoint if one exists and is consistent (corrupt or
@@ -51,6 +54,16 @@ struct ResumeOutcome {
   /// The crash left a half-written record that was truncated away.
   bool recovered_torn_tail = false;
   int64_t torn_bytes = 0;
+  /// The journal ended in a governor-termination epilogue (kTermination
+  /// plus its quiescent kRoundEnd) that was truncated away so the run can
+  /// extend its partial result under a new budget.
+  bool truncated_termination = false;
+  /// The recovered journal's per-round question counts and its open tail
+  /// (questions past the last round end), post-truncation. The engine
+  /// uses them to refuse a governed resume whose dollar cap cannot even
+  /// cover the replay of what was already paid.
+  std::vector<int64_t> round_questions;
+  int64_t open_tail_questions = 0;
   /// Valid records recovered = folded_records + credit_records.
   int64_t journal_records = 0;
   int64_t folded_records = 0;

@@ -135,6 +135,100 @@ TEST(BudgetTest, EngineRejectsBudgetForSortBaselines) {
   EXPECT_TRUE(RunSkylineQuery(ds, opt).status().IsInvalidArgument());
 }
 
+// --- Budget-abort boundary regressions (evaluator.cc) -------------------
+//
+// The evaluator checks CanAsk() per *attribute*, not per pair, so the
+// budget can run dry mid-pair. These pin the exact boundary behaviors:
+// the abort on the last attribute of a pair, the off-by-one cases around
+// an exactly-sufficient budget, and the unary path sharing one ledger
+// with pairwise questions.
+
+TEST(BudgetTest, MidPairAbortOnLastAttribute) {
+  // Two crowd attributes: a budget of 1 pays for a pair's first attribute
+  // and must abort before its last one, leaving the pair half-resolved.
+  GeneratorOptions opt;
+  opt.cardinality = 60;
+  opt.num_known = 2;
+  opt.num_crowd = 2;
+  opt.seed = 11;
+  const Dataset ds = GenerateDataset(opt).ValueOrDie();
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  session.SetQuestionBudget(1);
+  const AlgoResult r = RunCrowdSky(ds, &session, {});
+  EXPECT_EQ(r.questions, 1);  // the abort came after the paid attribute
+  EXPECT_GT(r.incomplete_tuples, 0);
+  const std::vector<int> truth = ComputeGroundTruthSkyline(ds);
+  for (const int t : truth) {
+    EXPECT_TRUE(std::binary_search(r.skyline.begin(), r.skyline.end(), t))
+        << t;
+  }
+}
+
+TEST(BudgetTest, ExactBudgetMatchesUnlimited) {
+  // Boundary "exactly 0 remaining at the natural end": a budget equal to
+  // the unlimited run's spend must not perturb anything — serial CrowdSky
+  // is deterministic, so the capped run asks the identical prefix.
+  const Dataset ds = Make(120, 13);
+  PerfectOracle o1(ds), o2(ds);
+  CrowdSession unlimited(&o1);
+  const AlgoResult full = RunCrowdSky(ds, &unlimited, {});
+  ASSERT_GT(full.questions, 1);
+  CrowdSession exact(&o2);
+  exact.SetQuestionBudget(full.questions);
+  const AlgoResult r = RunCrowdSky(ds, &exact, {});
+  EXPECT_EQ(r.questions, full.questions);
+  EXPECT_EQ(r.skyline, full.skyline);
+  EXPECT_EQ(r.incomplete_tuples, 0);
+}
+
+TEST(BudgetTest, OneQuestionShortSpendsWholeBudget) {
+  // Boundary "exactly 1 remaining": one question short of completion, the
+  // run spends its entire budget (the denied ask is the final one) and
+  // whatever that last question would have decided stays undetermined.
+  const Dataset ds = Make(120, 13);
+  PerfectOracle o1(ds), o2(ds);
+  CrowdSession unlimited(&o1);
+  const AlgoResult full = RunCrowdSky(ds, &unlimited, {});
+  ASSERT_GT(full.questions, 1);
+  CrowdSession short_one(&o2);
+  short_one.SetQuestionBudget(full.questions - 1);
+  const AlgoResult r = RunCrowdSky(ds, &short_one, {});
+  EXPECT_EQ(r.questions, full.questions - 1);
+  EXPECT_GT(r.incomplete_tuples, 0);
+  const std::vector<int> truth = ComputeGroundTruthSkyline(ds);
+  for (const int t : truth) {
+    EXPECT_TRUE(std::binary_search(r.skyline.begin(), r.skyline.end(), t))
+        << t;
+  }
+}
+
+TEST(BudgetTest, UnaryAsksShareThePairwiseBudget) {
+  // One ledger for both question kinds: unary asks consume the same
+  // budget the evaluator's pairwise gate checks.
+  const Dataset ds = Make(40, 17);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  session.SetQuestionBudget(3);
+  session.AskUnary(0, 0);
+  session.AskUnary(1, 0);
+  EXPECT_TRUE(session.CanAsk());  // exactly 1 remaining
+  session.AskUnary(2, 0);
+  EXPECT_FALSE(session.CanAsk());  // exactly 0 remaining
+  EXPECT_EQ(session.stats().unary_questions, 3);
+}
+
+TEST(BudgetDeathTest, UnaryAskPastBudgetDies) {
+  // Asking past the budget is a caller bug, not a soft failure: the
+  // entry CHECK must fire rather than silently over-spend.
+  const Dataset ds = Make(40, 17);
+  PerfectOracle oracle(ds);
+  CrowdSession session(&oracle);
+  session.SetQuestionBudget(1);
+  session.AskUnary(0, 0);
+  EXPECT_DEATH(session.AskUnary(1, 0), "question budget exhausted");
+}
+
 TEST(BudgetTest, BudgetWithDuplicatesInPrePass) {
   auto ds = Dataset::Make(
       Schema::MakeSynthetic(2, 1),

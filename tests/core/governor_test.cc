@@ -1,0 +1,242 @@
+#include "core/governor.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdsky {
+namespace {
+
+// Default AMT pricing: $0.02/HIT * 5 workers = $0.10 per HIT, 5 questions
+// per HIT — the paper's Section 6.2 setting.
+constexpr double kHit = 0.1;
+
+GovernorOptions DollarCap(double cap) {
+  GovernorOptions opt;
+  opt.max_cost_usd = cap;
+  return opt;
+}
+
+TEST(GovernorOptionsTest, DefaultIsDisabled) {
+  EXPECT_FALSE(GovernorOptions{}.enabled());
+}
+
+TEST(GovernorOptionsTest, AnyLimitEnables) {
+  GovernorOptions opt;
+  opt.max_rounds = 1;
+  EXPECT_TRUE(opt.enabled());
+  opt = {};
+  opt.max_cost_usd = 0.5;
+  EXPECT_TRUE(opt.enabled());
+  opt = {};
+  opt.stall_rounds = 2;
+  EXPECT_TRUE(opt.enabled());
+  opt = {};
+  CancellationToken token;
+  opt.cancel = &token;
+  EXPECT_TRUE(opt.enabled());
+}
+
+TEST(GovernorTest, UnlimitedGovernorAlwaysFunds) {
+  RunGovernor gov(GovernorOptions{}, AmtCostModel{}, /*max_retries=*/3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gov.CanFundQuestion(i));
+  }
+  EXPECT_FALSE(gov.stopped());
+  EXPECT_EQ(gov.reason(), TerminationReason::kCompleted);
+  EXPECT_EQ(gov.denied_questions(), 0);
+}
+
+TEST(GovernorTest, DollarCapFundsUpToOneHit) {
+  RunGovernor gov(DollarCap(kHit), AmtCostModel{}, /*max_retries=*/0);
+  // Questions 1..5 all fit in the first HIT (worst case = open + 1).
+  for (int64_t open = 0; open < 5; ++open) {
+    EXPECT_TRUE(gov.CanFundQuestion(open)) << open;
+  }
+  // The 6th question would need a second HIT.
+  EXPECT_FALSE(gov.CanFundQuestion(5));
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.reason(), TerminationReason::kDollarCap);
+  EXPECT_EQ(gov.denied_questions(), 1);
+}
+
+TEST(GovernorTest, DollarCapReservesWorstCaseRetryChain) {
+  // With 3 retries a question's worst case is 4 paid attempts; under a
+  // one-HIT cap only the question whose whole chain fits is funded.
+  RunGovernor gov(DollarCap(kHit), AmtCostModel{}, /*max_retries=*/3);
+  EXPECT_TRUE(gov.CanFundQuestion(0));   // worst 4 attempts -> 1 HIT
+  EXPECT_TRUE(gov.CanFundQuestion(1));   // worst 5 attempts -> 1 HIT
+  EXPECT_FALSE(gov.CanFundQuestion(2));  // worst 6 attempts -> 2 HITs
+  EXPECT_EQ(gov.reason(), TerminationReason::kDollarCap);
+}
+
+TEST(GovernorTest, ClosedRoundsBillTheLedger) {
+  RunGovernor gov(DollarCap(3 * kHit), AmtCostModel{}, /*max_retries=*/0);
+  EXPECT_DOUBLE_EQ(gov.cost_spent_usd(), 0.0);
+  gov.OnRoundClosed(/*round_questions=*/5, /*resolved_total=*/5);
+  EXPECT_EQ(gov.hits_closed(), 1);
+  EXPECT_DOUBLE_EQ(gov.cost_spent_usd(), kHit);
+  gov.OnRoundClosed(/*round_questions=*/6, /*resolved_total=*/11);
+  EXPECT_EQ(gov.hits_closed(), 3);  // ceil(6/5) = 2 more
+  EXPECT_DOUBLE_EQ(gov.cost_spent_usd(), 3 * kHit);
+  EXPECT_EQ(gov.rounds_closed(), 2);
+  // The cap is fully committed: nothing more is fundable.
+  EXPECT_FALSE(gov.CanFundQuestion(0));
+  EXPECT_EQ(gov.reason(), TerminationReason::kDollarCap);
+}
+
+TEST(GovernorTest, SpentNeverExceedsCap) {
+  // Drive a synthetic run: fund-then-bill in governor-shaped steps and
+  // check the headline invariant after every round.
+  RunGovernor gov(DollarCap(2.5 * kHit), AmtCostModel{}, /*max_retries=*/1);
+  int64_t open = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (gov.CanFundQuestion(open)) ++open;
+    if (open == 0) break;
+    gov.OnRoundClosed(open, /*resolved_total=*/(round + 1) * 100);
+    open = 0;
+    EXPECT_LE(gov.cost_spent_usd(), gov.cost_cap_usd() + 1e-9);
+  }
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.reason(), TerminationReason::kDollarCap);
+}
+
+TEST(GovernorTest, RoundCapStopsAtBoundary) {
+  GovernorOptions opt;
+  opt.max_rounds = 2;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  gov.OnRoundClosed(1, 1);
+  EXPECT_FALSE(gov.stopped());
+  EXPECT_TRUE(gov.CanFundQuestion(0));
+  gov.OnRoundClosed(1, 2);
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.reason(), TerminationReason::kRoundCap);
+  EXPECT_FALSE(gov.CanFundQuestion(0));
+  EXPECT_EQ(gov.denied_questions(), 1);
+}
+
+TEST(GovernorTest, StallWatchdogTripsOnZeroProgressStreak) {
+  GovernorOptions opt;
+  opt.stall_rounds = 2;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  gov.OnRoundClosed(1, /*resolved_total=*/1);  // progress
+  gov.OnRoundClosed(1, /*resolved_total=*/1);  // stall 1
+  EXPECT_FALSE(gov.stopped());
+  gov.OnRoundClosed(1, /*resolved_total=*/1);  // stall 2
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.reason(), TerminationReason::kStalled);
+}
+
+TEST(GovernorTest, ProgressResetsStallStreak) {
+  GovernorOptions opt;
+  opt.stall_rounds = 2;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  gov.OnRoundClosed(1, 1);
+  gov.OnRoundClosed(1, 1);  // stall 1
+  gov.OnRoundClosed(1, 2);  // progress: streak resets
+  gov.OnRoundClosed(1, 2);  // stall 1 again
+  EXPECT_FALSE(gov.stopped());
+}
+
+TEST(GovernorTest, CancellationTokenStopsAtNextPoll) {
+  CancellationToken token;
+  GovernorOptions opt;
+  opt.cancel = &token;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  EXPECT_TRUE(gov.CanFundQuestion(0));
+  token.Cancel();
+  EXPECT_FALSE(gov.CanFundQuestion(0));
+  EXPECT_EQ(gov.reason(), TerminationReason::kCancelled);
+}
+
+TEST(GovernorTest, FirstStopReasonLatches) {
+  CancellationToken token;
+  GovernorOptions opt;
+  opt.cancel = &token;
+  opt.max_rounds = 1;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  token.Cancel();
+  EXPECT_FALSE(gov.CanFundQuestion(0));
+  EXPECT_EQ(gov.reason(), TerminationReason::kCancelled);
+  // The round cap firing later must not overwrite the latched reason.
+  gov.OnRoundClosed(1, 1);
+  EXPECT_EQ(gov.reason(), TerminationReason::kCancelled);
+}
+
+TEST(GovernorTest, DeadlineRequiresWallClockOptIn) {
+  GovernorOptions opt;
+  opt.deadline_seconds = 1.0;
+  EXPECT_DEATH(RunGovernor(opt, AmtCostModel{}, 0), "allow_wall_clock");
+}
+
+TEST(GovernorTest, ExpiredDeadlineStops) {
+  GovernorOptions opt;
+  opt.deadline_seconds = 1e-12;  // expires before the first poll
+  opt.allow_wall_clock = true;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  // The clock must advance past the (sub-nanosecond) deadline; a bounded
+  // spin keeps the test deterministic without sleeping.
+  bool funded = true;
+  for (int i = 0; i < 1000000 && funded; ++i) {
+    funded = gov.CanFundQuestion(0);
+  }
+  EXPECT_FALSE(funded);
+  EXPECT_EQ(gov.reason(), TerminationReason::kDeadline);
+}
+
+TEST(GovernorTest, DeniedQuestionsAccumulate) {
+  GovernorOptions opt;
+  opt.max_rounds = 1;
+  RunGovernor gov(opt, AmtCostModel{}, /*max_retries=*/0);
+  gov.OnRoundClosed(1, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(gov.CanFundQuestion(0));
+  EXPECT_EQ(gov.denied_questions(), 4);
+}
+
+TEST(GovernorTest, CustomCostModelChangesTheCapBoundary) {
+  AmtCostModel model;
+  model.reward_per_hit = 0.05;
+  model.workers_per_question = 3;  // $0.15 per HIT
+  model.questions_per_hit = 2;
+  RunGovernor gov(DollarCap(0.15), model, /*max_retries=*/0);
+  EXPECT_TRUE(gov.CanFundQuestion(0));   // 1 attempt -> 1 HIT
+  EXPECT_TRUE(gov.CanFundQuestion(1));   // 2 attempts -> 1 HIT
+  EXPECT_FALSE(gov.CanFundQuestion(2));  // 3 attempts -> 2 HITs
+}
+
+TEST(TerminationReasonTest, NamesAreStable) {
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kCompleted),
+               "completed");
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kCancelled),
+               "cancelled");
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kDeadline),
+               "deadline");
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kRoundCap),
+               "round_cap");
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kDollarCap),
+               "dollar_cap");
+  EXPECT_STREQ(TerminationReasonName(TerminationReason::kStalled),
+               "stalled");
+}
+
+TEST(TerminationReportTest, ToStringNamesTheReason) {
+  TerminationReport report;
+  report.governed = true;
+  report.reason = TerminationReason::kDollarCap;
+  report.rounds = 7;
+  report.cost_spent_usd = 0.4;
+  report.cost_cap_usd = 0.5;
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("dollar_cap"), std::string::npos) << s;
+  EXPECT_NE(s.find("rounds=7"), std::string::npos) << s;
+}
+
+TEST(CancellationTokenTest, StartsClearAndLatches) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace crowdsky

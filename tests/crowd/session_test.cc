@@ -107,5 +107,37 @@ TEST(SessionDeathTest, SelfPairRejected) {
   EXPECT_DEATH(session.Ask(0, 3, 3), "distinct");
 }
 
+// Budget and retry policy are part of the run's identity: the journal
+// fingerprint, the governor's worst-case reservation, and the auditor's
+// ledger checks all assume they were fixed before the first paid ask.
+// Reconfiguring mid-run must die, not silently fork the run's semantics.
+TEST(SessionDeathTest, BudgetChangeAfterAskRejected) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  CrowdSession session(&oracle);
+  session.Ask(0, ToyId('a'), ToyId('b'));
+  EXPECT_DEATH(session.SetQuestionBudget(10), "fresh-session-only");
+}
+
+TEST(SessionDeathTest, RetryPolicyChangeAfterUnaryAskRejected) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  CrowdSession session(&oracle);
+  session.AskUnary(3, 0);
+  EXPECT_DEATH(session.SetRetryPolicy(RetryPolicy{}), "fresh-session-only");
+}
+
+// The flip side: both setters are fine on a session that has priced
+// nothing yet, including after a cache-only lookup path (no paid asks).
+TEST(SessionDeathTest, FreshSessionReconfigureAllowed) {
+  const Dataset toy = MakeToyDataset();
+  PerfectOracle oracle(toy);
+  CrowdSession session(&oracle);
+  session.SetQuestionBudget(25);
+  session.SetRetryPolicy(RetryPolicy{});
+  session.SetQuestionBudget(-1);  // still fresh: no question asked yet
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace crowdsky

@@ -1,0 +1,20 @@
+// lint-path: src/core/engine.cc
+// expect-lint: CS-CLK002
+//
+// The governor allowlist entry is scoped to src/core/governor.cc (and to
+// the one 'system_clock' token there); a wall-clock read anywhere else in
+// src/core/ must still fail the build.
+
+#include <chrono>
+#include <cstdint>
+
+namespace crowdsky {
+
+int64_t EngineWallClockNs() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace crowdsky
