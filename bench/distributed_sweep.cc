@@ -1,0 +1,240 @@
+// Distributed sweep: what sharded execution buys (crowd-round latency) and
+// what it costs (merge questions, recovery overhead) as shard count,
+// data distribution and fault pressure vary.
+//
+//  * scaling — k ∈ {1,2,4,8} × {IND, ANT, COR} under a perfect oracle:
+//    total questions stay flat (the merge imports shard-paid answers, so
+//    only cross-shard pairs are paid again — the "cost saved" column is
+//    the merge's free lookups), while rounds drop toward
+//    max(shard rounds) + merge rounds,
+//  * recovery — k = 4 with 0..4 shards killed at a round boundary: a
+//    restarted shard resumes from its journal, so questions and dollars
+//    are identical to the clean run and the overhead is wall time only,
+//  * crowd faults — k ∈ {1,2,4,8} × marketplace transient-error rate:
+//    shard restarts compose with the session-level retry path.
+//
+// Wall-clock cells vary with machine speed and are recorded for the
+// trajectory, not for bit-exact regression comparison; every deterministic
+// column (questions, rounds, dollars) is stable per seed. Emits
+// BENCH_distributed.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generator.h"
+#include "dist/coordinator.h"
+#include "dist/shard_runner.h"
+
+namespace {
+
+using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+
+Dataset SweepDataset(DataDistribution distribution, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.cardinality = Scaled(160);
+  gen.num_known = 2;
+  gen.num_crowd = 2;
+  gen.distribution = distribution;
+  gen.seed = seed;
+  return GenerateDataset(gen).ValueOrDie();
+}
+
+/// Scratch root for every cell of this process; cells use disjoint
+/// subdirectories and the whole tree is removed on exit.
+const std::string& SweepRoot() {
+  static const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("crowdsky_distributed_sweep." + std::to_string(getpid())))
+          .string();
+  return root;
+}
+
+dist::DistOptions BaseOptions(int k, const std::string& cell_tag) {
+  dist::DistOptions opt;
+  opt.shards = k;
+  opt.engine.algorithm = Algorithm::kParallelSL;
+  opt.engine.oracle = OracleKind::kPerfect;
+  opt.engine.crowdsky.audit = true;  // shard.* rules run in every cell
+  opt.run_dir = SweepRoot() + "/" + cell_tag;
+  opt.supervisor.restart_backoff_base_seconds = 0.02;
+  opt.supervisor.restart_backoff_max_seconds = 0.2;
+  return opt;
+}
+
+struct CellResult {
+  double wall_seconds = 0.0;
+  int64_t questions = 0;
+  int64_t rounds = 0;
+  int64_t merge_questions = 0;
+  int64_t merge_rounds = 0;
+  int64_t merge_imported = 0;
+  double cost_usd = 0.0;
+  double cost_lost_usd = 0.0;
+  int restarts = 0;
+  int dead = 0;
+};
+
+CellResult RunCell(const Dataset& data, const dist::DistOptions& opt) {
+  std::filesystem::remove_all(opt.run_dir);
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = dist::RunShardedSkylineQuery(data, opt);
+  r.status().CheckOK();
+  CellResult out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.questions = r->total_questions;
+  out.rounds = r->rounds;
+  out.merge_questions = r->merge.questions;
+  out.merge_rounds = r->merge.rounds;
+  out.merge_imported = r->merge.imported_answers;
+  out.cost_usd = r->total_cost_usd;
+  out.cost_lost_usd = r->cost_lost_usd;
+  out.restarts = r->restarts_total;
+  out.dead = r->shards_dead;
+  std::filesystem::remove_all(opt.run_dir);
+  return out;
+}
+
+void RecordCell(const std::string& section, const std::string& setting,
+                const std::string& method, int run, const CellResult& cell,
+                int64_t baseline_questions) {
+  BenchReport::Get().AddCell(
+      section, setting, method, run,
+      {{"wall_seconds", cell.wall_seconds},
+       {"questions", static_cast<double>(cell.questions)},
+       {"extra_questions_vs_k1",
+        static_cast<double>(cell.questions - baseline_questions)},
+       {"rounds", static_cast<double>(cell.rounds)},
+       {"merge_questions", static_cast<double>(cell.merge_questions)},
+       {"merge_rounds", static_cast<double>(cell.merge_rounds)},
+       {"merge_imported", static_cast<double>(cell.merge_imported)},
+       {"cost_usd", cell.cost_usd},
+       {"cost_lost_usd", cell.cost_lost_usd},
+       {"restarts", static_cast<double>(cell.restarts)},
+       {"shards_dead", static_cast<double>(cell.dead)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--crowdsky_shard") {
+    return crowdsky::dist::RunShardChildMode(argc, argv);
+  }
+  JsonReportScope report("distributed");
+  const int runs = Runs();
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  Section("shard count x distribution (perfect oracle, fault-free)");
+  Table table({"dist", "k", "questions", "rounds", "merge q", "imported",
+               "cost $", "wall s"});
+  table.PrintHeader();
+  const std::vector<DataDistribution> distributions = {
+      DataDistribution::kIndependent, DataDistribution::kAntiCorrelated,
+      DataDistribution::kCorrelated};
+  for (const DataDistribution distribution : distributions) {
+    const Dataset data = SweepDataset(distribution, 42);
+    const char* dist_name = DataDistributionName(distribution);
+    int64_t baseline_questions = 0;
+    for (const int k : shard_counts) {
+      CellResult cell;
+      for (int run = 0; run < runs; ++run) {
+        const dist::DistOptions opt = BaseOptions(
+            k, std::string("scaling_") + dist_name + "_k" +
+                   std::to_string(k) + "_r" + std::to_string(run));
+        cell = RunCell(data, opt);
+        if (k == 1) baseline_questions = cell.questions;
+        RecordCell("scaling", "k=" + std::to_string(k), dist_name, run,
+                   cell, baseline_questions);
+      }
+      table.PrintCell(dist_name);
+      table.PrintCell(static_cast<int64_t>(k));
+      table.PrintCell(cell.questions);
+      table.PrintCell(cell.rounds);
+      table.PrintCell(cell.merge_questions);
+      table.PrintCell(cell.merge_imported);
+      table.PrintCell(cell.cost_usd, 2);
+      table.PrintCell(cell.wall_seconds, 3);
+      table.EndRow();
+    }
+  }
+
+  Section("recovery overhead (k=4, shards killed at a round boundary)");
+  Table rtable({"killed", "restarts", "questions", "cost $", "lost $",
+                "wall s"});
+  rtable.PrintHeader();
+  {
+    const Dataset data = SweepDataset(DataDistribution::kIndependent, 42);
+    int64_t clean_questions = 0;
+    for (const int killed : {0, 1, 2, 4}) {
+      CellResult cell;
+      for (int run = 0; run < runs; ++run) {
+        dist::DistOptions opt = BaseOptions(
+            4, "recovery_f" + std::to_string(killed) + "_r" +
+                   std::to_string(run));
+        for (int shard = 0; shard < killed; ++shard) {
+          opt.faults.push_back({shard, dist::ShardFaultKind::kKillAtRound,
+                                /*value=*/1, /*tear_bytes=*/8,
+                                /*generation=*/0});
+        }
+        cell = RunCell(data, opt);
+        if (killed == 0) clean_questions = cell.questions;
+        RecordCell("recovery", "killed=" + std::to_string(killed),
+                   "ParallelSL", run, cell, clean_questions);
+      }
+      rtable.PrintCell(static_cast<int64_t>(killed));
+      rtable.PrintCell(static_cast<int64_t>(cell.restarts));
+      rtable.PrintCell(cell.questions);
+      rtable.PrintCell(cell.cost_usd, 2);
+      rtable.PrintCell(cell.cost_lost_usd, 2);
+      rtable.PrintCell(cell.wall_seconds, 3);
+      rtable.EndRow();
+    }
+  }
+
+  Section("crowd fault rate x shard count (marketplace oracle)");
+  Table ftable({"rate", "k", "questions", "rounds", "cost $", "restarts",
+                "wall s"});
+  ftable.PrintHeader();
+  {
+    const Dataset data = SweepDataset(DataDistribution::kIndependent, 42);
+    for (const double rate : {0.0, 0.1, 0.25}) {
+      int64_t baseline_questions = 0;
+      for (const int k : shard_counts) {
+        CellResult cell;
+        for (int run = 0; run < runs; ++run) {
+          dist::DistOptions opt = BaseOptions(
+              k, "faults_" + std::to_string(rate) + "_k" +
+                     std::to_string(k) + "_r" + std::to_string(run));
+          opt.engine.oracle = OracleKind::kMarketplace;
+          opt.engine.marketplace.faults.transient_error_rate = rate;
+          opt.engine.marketplace.faults.worker_no_show_rate = rate / 2;
+          opt.engine.retry.max_retries = 8;
+          cell = RunCell(data, opt);
+          if (k == 1) baseline_questions = cell.questions;
+          RecordCell("crowd_faults",
+                     "rate=" + std::to_string(rate) +
+                         ",k=" + std::to_string(k),
+                     "ParallelSL", run, cell, baseline_questions);
+        }
+        ftable.PrintCell(rate, 2);
+        ftable.PrintCell(static_cast<int64_t>(k));
+        ftable.PrintCell(cell.questions);
+        ftable.PrintCell(cell.rounds);
+        ftable.PrintCell(cell.cost_usd, 2);
+        ftable.PrintCell(static_cast<int64_t>(cell.restarts));
+        ftable.PrintCell(cell.wall_seconds, 3);
+        ftable.EndRow();
+      }
+    }
+  }
+
+  std::filesystem::remove_all(SweepRoot());
+  return 0;
+}

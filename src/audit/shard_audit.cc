@@ -1,0 +1,248 @@
+#include "audit/shard_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+namespace crowdsky::audit {
+namespace {
+
+constexpr double kDollarTolerance = 1e-9;
+
+bool Contains(const std::vector<int>& sorted_ids, int id) {
+  return std::binary_search(sorted_ids.begin(), sorted_ids.end(), id);
+}
+
+std::string ShardLabel(size_t i) {
+  return "shard " + std::to_string(i);
+}
+
+}  // namespace
+
+void AuditShardMerge(const ShardMergeSnapshot& snapshot,
+                     AuditReport* report) {
+  const size_t k = snapshot.shards.size();
+
+  // shard.partition: the slices are disjoint and cover [0, n) exactly.
+  {
+    std::vector<int> owner(static_cast<size_t>(snapshot.num_tuples), -1);
+    bool disjoint = true;
+    bool in_range = true;
+    std::string witness;
+    for (size_t i = 0; i < k; ++i) {
+      for (const int id : snapshot.shards[i].tuple_ids) {
+        if (id < 0 || id >= snapshot.num_tuples) {
+          in_range = false;
+          witness = ShardLabel(i) + " owns out-of-range tuple " +
+                    std::to_string(id);
+          break;
+        }
+        if (owner[static_cast<size_t>(id)] != -1) {
+          disjoint = false;
+          witness = "tuple " + std::to_string(id) + " owned by both " +
+                    ShardLabel(static_cast<size_t>(
+                        owner[static_cast<size_t>(id)])) +
+                    " and " + ShardLabel(i);
+          break;
+        }
+        owner[static_cast<size_t>(id)] = static_cast<int>(i);
+      }
+    }
+    int covered = 0;
+    for (const int o : owner) covered += (o != -1) ? 1 : 0;
+    const bool covers = covered == snapshot.num_tuples;
+    if (witness.empty() && !covers) {
+      for (size_t t = 0; t < owner.size(); ++t) {
+        if (owner[t] == -1) {
+          witness = "tuple " + std::to_string(t) + " owned by no shard";
+          break;
+        }
+      }
+    }
+    report->Check(disjoint && in_range && covers, "shard.partition",
+                  witness);
+
+    // shard.candidate_ownership: candidates come from the owning slice;
+    // a dead shard contributes none.
+    for (size_t i = 0; i < k; ++i) {
+      const ShardMergeSnapshot::Shard& shard = snapshot.shards[i];
+      if (shard.dead) {
+        report->Check(shard.candidates.empty(),
+                      "shard.candidate_ownership",
+                      ShardLabel(i) + " is dead but contributed " +
+                          std::to_string(shard.candidates.size()) +
+                          " candidates");
+        continue;
+      }
+      bool owned = true;
+      std::string detail;
+      for (const int id : shard.candidates) {
+        if (id < 0 || id >= snapshot.num_tuples ||
+            owner[static_cast<size_t>(id)] != static_cast<int>(i)) {
+          owned = false;
+          detail = ShardLabel(i) + " contributed candidate " +
+                   std::to_string(id) + " outside its slice";
+          break;
+        }
+      }
+      report->Check(owned, "shard.candidate_ownership", detail);
+    }
+
+    // shard.attribution: every merged skyline tuple is a candidate of
+    // exactly one surviving shard — the shard that owns it.
+    for (const int id : snapshot.merged_skyline) {
+      int attributed_to = -1;
+      int times = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if (Contains(snapshot.shards[i].candidates, id)) {
+          attributed_to = static_cast<int>(i);
+          ++times;
+        }
+      }
+      const bool owner_ok =
+          times == 1 && id >= 0 && id < snapshot.num_tuples &&
+          owner[static_cast<size_t>(id)] == attributed_to &&
+          !snapshot.shards[static_cast<size_t>(attributed_to)].dead;
+      report->Check(
+          owner_ok, "shard.attribution",
+          "skyline tuple " + std::to_string(id) + " is a candidate of " +
+              std::to_string(times) +
+              " shards (must be exactly its surviving owner)");
+      if (!owner_ok) break;  // one witness is enough
+    }
+  }
+
+  // shard.merge_membership: the merge picked only from the candidate
+  // union (attribution implies this, but membership stays checkable when
+  // attribution already failed).
+  {
+    std::unordered_set<int> union_candidates;
+    for (const ShardMergeSnapshot::Shard& shard : snapshot.shards) {
+      union_candidates.insert(shard.candidates.begin(),
+                              shard.candidates.end());
+    }
+    bool member = true;
+    std::string detail;
+    for (const int id : snapshot.merged_skyline) {
+      if (union_candidates.count(id) == 0) {
+        member = false;
+        detail = "skyline tuple " + std::to_string(id) +
+                 " is no shard's candidate";
+        break;
+      }
+    }
+    report->Check(member, "shard.merge_membership", detail);
+  }
+
+  // shard.question_conservation: each ledger's question total equals the
+  // sum of its per-round vector; the run total equals shards + merge.
+  {
+    int64_t sum_questions = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const ShardMergeSnapshot::Shard& shard = snapshot.shards[i];
+      int64_t rounds_sum = 0;
+      for (const int64_t q : shard.questions_per_round) rounds_sum += q;
+      report->Check(rounds_sum == shard.questions,
+                    "shard.question_conservation",
+                    ShardLabel(i) + " reports " +
+                        std::to_string(shard.questions) +
+                        " questions but its rounds sum to " +
+                        std::to_string(rounds_sum));
+      sum_questions += shard.questions;
+    }
+    int64_t merge_sum = 0;
+    for (const int64_t q : snapshot.merge_questions_per_round) {
+      merge_sum += q;
+    }
+    report->Check(merge_sum == snapshot.merge_questions,
+                  "shard.question_conservation",
+                  "merge reports " +
+                      std::to_string(snapshot.merge_questions) +
+                      " questions but its rounds sum to " +
+                      std::to_string(merge_sum));
+    sum_questions += snapshot.merge_questions;
+    report->Check(sum_questions == snapshot.total_questions,
+                  "shard.question_conservation",
+                  "total_questions = " +
+                      std::to_string(snapshot.total_questions) +
+                      " but shards + merge = " +
+                      std::to_string(sum_questions));
+  }
+
+  // shard.cost_conservation: every dollar re-derives from its per-round
+  // vector under the paper's formula; the total is the sum of the ledgers.
+  {
+    double sum_cost = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      const ShardMergeSnapshot::Shard& shard = snapshot.shards[i];
+      const double recomputed =
+          snapshot.cost_model.Cost(shard.questions_per_round);
+      report->Check(std::abs(recomputed - shard.cost_usd) < kDollarTolerance,
+                    "shard.cost_conservation",
+                    ShardLabel(i) + " reports $" +
+                        std::to_string(shard.cost_usd) +
+                        " but its rounds recompute to $" +
+                        std::to_string(recomputed));
+      sum_cost += shard.cost_usd + shard.cost_lost_usd;
+    }
+    const double merge_recomputed =
+        snapshot.cost_model.Cost(snapshot.merge_questions_per_round);
+    report->Check(
+        std::abs(merge_recomputed - snapshot.merge_cost_usd) <
+            kDollarTolerance,
+        "shard.cost_conservation",
+        "merge reports $" + std::to_string(snapshot.merge_cost_usd) +
+            " but its rounds recompute to $" +
+            std::to_string(merge_recomputed));
+    sum_cost += snapshot.merge_cost_usd;
+    report->Check(std::abs(sum_cost - snapshot.total_cost_usd) <
+                      kDollarTolerance,
+                  "shard.cost_conservation",
+                  "total_cost_usd = " +
+                      std::to_string(snapshot.total_cost_usd) +
+                      " but ledgers sum to $" + std::to_string(sum_cost));
+  }
+
+  // shard.completeness: complete <=> no dead shard and nothing
+  // undetermined; a dead shard's whole slice must be reported.
+  {
+    bool any_dead = false;
+    bool dead_reported = true;
+    std::string detail;
+    for (size_t i = 0; i < k; ++i) {
+      if (!snapshot.shards[i].dead) continue;
+      any_dead = true;
+      for (const int id : snapshot.shards[i].tuple_ids) {
+        if (!Contains(snapshot.undetermined, id)) {
+          dead_reported = false;
+          detail = "dead " + ShardLabel(i) + "'s tuple " +
+                   std::to_string(id) + " missing from undetermined";
+          break;
+        }
+      }
+    }
+    report->Check(dead_reported, "shard.completeness", detail);
+    const bool should_be_complete =
+        !any_dead && snapshot.undetermined.empty();
+    report->Check(snapshot.complete == should_be_complete,
+                  "shard.completeness",
+                  std::string("complete flag is ") +
+                      (snapshot.complete ? "true" : "false") +
+                      " but dead shards / undetermined tuples say " +
+                      (should_be_complete ? "true" : "false"));
+  }
+
+  // shard.budget: with a dollar cap configured, the whole run's spend
+  // (including dead shards' losses) stays within it.
+  if (snapshot.cost_cap_usd > 0) {
+    report->Check(
+        snapshot.total_cost_usd <= snapshot.cost_cap_usd + kDollarTolerance,
+        "shard.budget",
+        "total spend $" + std::to_string(snapshot.total_cost_usd) +
+            " exceeds the $" + std::to_string(snapshot.cost_cap_usd) +
+            " cap");
+  }
+}
+
+}  // namespace crowdsky::audit

@@ -1,0 +1,72 @@
+// shard.* invariant rules: conservation laws of the distributed merge
+// (src/dist). Like the session/governor rules in invariant_auditor.h, the
+// checks run on a plain snapshot struct so tests can fabricate violations
+// the coordinator makes unrepresentable by construction.
+//
+// Rules:
+//   shard.partition            the slices are disjoint and cover [0, n)
+//   shard.candidate_ownership  every candidate belongs to its shard's
+//                              slice; dead shards contribute none
+//   shard.attribution          every merged skyline tuple is a candidate
+//                              of exactly one surviving shard (its owner)
+//   shard.merge_membership     the merged skyline only picks from the
+//                              candidate union
+//   shard.question_conservation  per-ledger question counts equal the sum
+//                              of their per-round vectors, and the run
+//                              total equals shards + merge
+//   shard.cost_conservation    every reported dollar amount re-derives
+//                              from its per-round vector under the paper's
+//                              formula, and the run total equals the sum
+//                              of the shard ledgers plus merge plus the
+//                              dead shards' journaled losses
+//   shard.completeness         complete <=> no dead shard and nothing
+//                              undetermined; every dead shard's slice is
+//                              reported undetermined
+//   shard.budget               with a dollar cap, total spend stays under
+//                              cap plus the merge's replay allowance
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "crowd/cost_model.h"
+
+namespace crowdsky::audit {
+
+/// Flattened outcome of one sharded run, global tuple ids throughout.
+struct ShardMergeSnapshot {
+  int num_tuples = 0;
+
+  struct Shard {
+    bool dead = false;
+    std::vector<int> tuple_ids;   ///< slice, ascending
+    std::vector<int> candidates;  ///< contributed candidates (empty if dead)
+    std::vector<int64_t> questions_per_round;
+    int64_t questions = 0;
+    double cost_usd = 0.0;
+    double cost_lost_usd = 0.0;  ///< dead incarnations' journaled spend
+  };
+  std::vector<Shard> shards;
+
+  std::vector<int> merged_skyline;  ///< ascending
+  std::vector<int64_t> merge_questions_per_round;
+  int64_t merge_questions = 0;
+  double merge_cost_usd = 0.0;
+
+  int64_t total_questions = 0;
+  double total_cost_usd = 0.0;
+  /// Governor dollar cap on the whole run (0 = uncapped).
+  double cost_cap_usd = 0.0;
+  /// Effective pricing (workers_per_question folded in).
+  AmtCostModel cost_model;
+
+  std::vector<int> undetermined;  ///< aggregate, ascending
+  bool complete = true;
+};
+
+/// Evaluates every shard.* rule against the snapshot.
+void AuditShardMerge(const ShardMergeSnapshot& snapshot,
+                     AuditReport* report);
+
+}  // namespace crowdsky::audit

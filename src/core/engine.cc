@@ -125,6 +125,16 @@ const char* AlgorithmName(Algorithm a) {
   return "?";
 }
 
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  for (const Algorithm a :
+       {Algorithm::kBaselineSort, Algorithm::kBitonicSort,
+        Algorithm::kCrowdSkySerial, Algorithm::kParallelDSet,
+        Algorithm::kParallelSL, Algorithm::kUnary}) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm name '" + name + "'");
+}
+
 uint64_t RunFingerprint(const Dataset& dataset,
                         const EngineOptions& options) {
   Fingerprinter fp;
@@ -179,6 +189,15 @@ uint64_t RunFingerprint(const Dataset& dataset,
       for (size_t i = 0; i < mask.size(); ++i) fp.AddB(mask.Test(i));
     }
   }
+  // Imported answers pre-resolve pairs and therefore shape the question
+  // stream — a resume with a different import set would diverge.
+  fp.AddI(static_cast<int64_t>(options.imported_answers.size()));
+  for (const ImportedAnswer& a : options.imported_answers) {
+    fp.AddI(a.attr);
+    fp.AddI(a.u);
+    fp.AddI(a.v);
+    fp.AddI(static_cast<int>(a.answer));
+  }
   return fp.hash;
 }
 
@@ -230,6 +249,21 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         "the run governor is only supported by the CrowdSky-family "
         "algorithms (the sort baselines and the unary method have no "
         "degraded path for a run stopped early)");
+  }
+  if (!options.imported_answers.empty() && !crowdsky_family) {
+    return Status::InvalidArgument(
+        "imported answers are only supported by the CrowdSky-family "
+        "algorithms (the sort baselines and the unary method drive their "
+        "own fixed question sets)");
+  }
+  for (const ImportedAnswer& a : options.imported_answers) {
+    if (a.attr < 0 || a.attr >= dataset.schema().num_crowd() || a.u < 0 ||
+        a.v < 0 || a.u >= dataset.size() || a.v >= dataset.size() ||
+        a.u == a.v) {
+      return Status::InvalidArgument(
+          "imported answer references an attribute or tuple outside the "
+          "dataset");
+    }
   }
   if (options.durability.resume && options.durability.dir.empty()) {
     return Status::InvalidArgument(
@@ -383,13 +417,31 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
       // not outlive the journal it described.
       std::filesystem::remove(persist::CheckpointPath(durability.dir), ec);
     }
-    if (crowdsky_family && durability.checkpoint_every_rounds > 0) {
+    // Runs with imported answers are journal-only: a checkpoint
+    // fast-forward rebuilds driver knowledge from the journaled (paid)
+    // prefix, but the original run's knowledge also held seeded answers,
+    // recorded at whatever points the driver consulted them — an
+    // interleaving the journal cannot capture. Full journal replay
+    // re-executes the driver from the start and reconstructs it exactly.
+    if (crowdsky_family && durability.checkpoint_every_rounds > 0 &&
+        options.imported_answers.empty()) {
       checkpointer = std::make_unique<EngineCheckpointer>(
           persist::CheckpointPath(durability.dir), fingerprint,
           dataset.size(), durability.checkpoint_every_rounds, &session,
           governor.get());
       crowdsky.checkpoint_hook = checkpointer.get();
     }
+  }
+
+  // Seed imported answers only now: the durability restore above requires
+  // a fresh session, and a seeded pair must never be journaled (it was
+  // paid for elsewhere), so seeding follows both the restore and the
+  // journal attach. Seeded entries answer cache lookups for free.
+  for (const ImportedAnswer& a : options.imported_answers) {
+    session.SeedAnswer(a.attr, a.u, a.v, a.answer);
+  }
+  if (options.round_callback) {
+    session.SetRoundCallback(options.round_callback);
   }
 
   obs::TraceSpan algo_span = obs::SpanIf(observer.get(), "algorithm");
@@ -436,6 +488,13 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
         session.replayed_unary_questions();
     result.durability.journal_records = journal->records_total();
     result.durability.new_records = journal->records_appended();
+  }
+
+  if (options.export_answers) {
+    for (const auto& [question, answer] : session.CachedAnswers()) {
+      result.exported_answers.push_back(ImportedAnswer{
+          question.attr, question.first, question.second, answer});
+    }
   }
 
   result.skyline_labels.reserve(result.algo.skyline.size());

@@ -13,6 +13,7 @@
 // cost, latency (rounds) and accuracy.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/governor.h"
 #include "crowd/cost_model.h"
 #include "crowd/marketplace.h"
+#include "crowd/question.h"
 #include "crowd/worker_model.h"
 #include "data/dataset.h"
 #include "obs/observer.h"
@@ -42,6 +44,22 @@ enum class Algorithm {
 
 /// Stable display name ("Baseline", "CrowdSky", ...).
 const char* AlgorithmName(Algorithm a);
+
+/// Inverse of AlgorithmName (exact match); fails on unknown names. Used by
+/// out-of-process callers (shard children) that receive the algorithm as a
+/// spec-file string.
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// A resolved crowd answer carried into a run from outside — e.g. a shard's
+/// exported answers seeding the distributed merge so cross-shard validation
+/// only pays for pairs no shard has already resolved. Tuple ids refer to
+/// the dataset *this* run sees.
+struct ImportedAnswer {
+  int attr = 0;
+  int u = -1;
+  int v = -1;
+  Answer answer = Answer::kEqual;
+};
 
 /// Which oracle answers the questions.
 enum class OracleKind {
@@ -82,6 +100,28 @@ struct EngineOptions {
   RetryPolicy retry;
 
   AmtCostModel cost_model;
+
+  /// Answers resolved elsewhere (another shard, a previous run over the
+  /// same ground truth) seeded into the session cache before the algorithm
+  /// starts. Seeded pairs are answered for free; only unseeded pairs reach
+  /// the oracle. CrowdSky-family only, and part of the run fingerprint —
+  /// imports shape the question stream, so a resume must import the same
+  /// set. Entries must be mutually consistent (no contradicting duplicates).
+  /// Durability for importing runs is journal-only (no checkpoints): seeded
+  /// answers are consulted for free at points the journal cannot record, so
+  /// only a full replay reconstructs the run exactly.
+  std::vector<ImportedAnswer> imported_answers;
+
+  /// Invoked after every closed crowd round with the total rounds closed so
+  /// far. Out-of-process progress reporting hook (shard heartbeats); must
+  /// not touch the session. Excluded from the fingerprint.
+  std::function<void(int64_t)> round_callback;
+
+  /// Fill EngineResult::exported_answers with every resolved pair answer in
+  /// the session cache (canonical orientation, sorted). Off by default: the
+  /// export is O(answers) extra copying nobody reads in a plain run. Purely
+  /// observational, so excluded from the fingerprint.
+  bool export_answers = false;
 
   /// Run governor (src/core/governor.h): round cap, dollar cap on the
   /// paper's cost formula, stall watchdog, cooperative cancellation, and
@@ -147,6 +187,12 @@ struct EngineResult {
   AccuracyMetrics accuracy;
   /// Monetary cost under the configured AMT model.
   double cost_usd = 0.0;
+
+  /// Every resolved pair answer in the session cache at the end of the run
+  /// (canonical orientation, sorted by attr/first/second; includes seeded
+  /// imports). Empty unless EngineOptions::export_answers — the feed for a
+  /// distributed merge that must not re-pay a shard's questions.
+  std::vector<ImportedAnswer> exported_answers;
 
   /// What the durability subsystem did during this run (all-default when
   /// EngineOptions::durability.dir was empty).

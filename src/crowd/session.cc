@@ -269,6 +269,18 @@ bool CrowdSession::IsUnresolved(int attr, int u, int v) const {
   return unresolved_.contains(PairQuestion{attr, u, v}.Canonical());
 }
 
+void CrowdSession::SeedAnswer(int attr, int u, int v, Answer answer) {
+  PairQuestion question{attr, u, v};
+  const PairQuestion canonical = question.Canonical();
+  const Answer oriented =
+      canonical.first == question.first ? answer : FlipAnswer(answer);
+  const auto [it, inserted] = cache_.emplace(canonical, oriented);
+  CROWDSKY_CHECK_MSG(it->second == oriented,
+                     "SeedAnswer contradicts an existing cache entry for "
+                     "the same pair");
+  if (inserted) ++seeded_answers_;
+}
+
 double CrowdSession::AskUnary(int id, int attr, const AskContext& ctx) {
   // Budget-only for the same reason as RunAskLoop: the caller gated
   // through CanAsk(), and an asynchronous cancel in between must degrade
@@ -332,6 +344,7 @@ void CrowdSession::EndRound() {
         "journal replay diverged: round boundary mismatch");
     credits_.pop_front();
     ++journal_position_;
+    if (round_callback_) round_callback_(stats_.rounds);
     return;
   }
   if (journal_ != nullptr) {
@@ -340,6 +353,9 @@ void CrowdSession::EndRound() {
     record.round_questions = closed;
     AppendToJournal(std::move(record));
   }
+  // After the round-end record is durable, so a kill-at-round fault
+  // injected from the callback leaves a clean round boundary behind.
+  if (round_callback_) round_callback_(stats_.rounds);
 }
 
 void CrowdSession::JournalTermination(const TerminationReport& report) {

@@ -29,9 +29,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/governor.h"
@@ -192,6 +194,50 @@ class CrowdSession {
   bool IsCached(int attr, int u, int v) const;
   /// True iff the question was given up on (retry cap exhausted).
   bool IsUnresolved(int attr, int u, int v) const;
+
+  /// Pre-seeds the answer cache with an already-known answer (oriented as
+  /// asked; canonicalized internally). Seeded answers behave exactly like
+  /// cache entries: later asks of the pair are free lookups, never paid
+  /// and never journaled. This is how the sharded merge phase (src/dist)
+  /// imports the answers the shard runs already paid for, so
+  /// cross-validation only pays for genuinely new cross-shard pairs.
+  /// Seeding the same pair twice with the same answer is a no-op;
+  /// contradictory re-seeding is a programming error. Call before the
+  /// algorithm runs (and after RestoreFromJournal on a resume — replay
+  /// rebuilds the paid cache first, then the seeds are layered back in).
+  void SeedAnswer(int attr, int u, int v, Answer answer);
+  /// Answers seeded through SeedAnswer (free by construction).
+  int64_t seeded_answers() const { return seeded_answers_; }
+
+  /// Every cached (question, answer) pair in canonical orientation,
+  /// sorted by (attr, first, second) for determinism (like
+  /// unresolved_questions(), the hash-map copy is sorted before anything
+  /// observes the order). Paid answers, journal-replayed answers and
+  /// seeded imports all appear; the sharded coordinator uses this to
+  /// export a shard's resolved pairs to the merge phase.
+  std::vector<std::pair<PairQuestion, Answer>> CachedAnswers() const {
+    std::vector<std::pair<PairQuestion, Answer>> out(cache_.begin(),
+                                                     cache_.end());
+    std::sort(out.begin(), out.end(),
+              [](const std::pair<PairQuestion, Answer>& a,
+                 const std::pair<PairQuestion, Answer>& b) {
+                if (a.first.attr != b.first.attr)
+                  return a.first.attr < b.first.attr;
+                if (a.first.first != b.first.first)
+                  return a.first.first < b.first.first;
+                return a.first.second < b.first.second;
+              });
+    return out;
+  }
+
+  /// Registers a callback invoked after every round actually closed
+  /// (EndRound calls with zero open questions do not fire it), with the
+  /// total closed-round count. The callback must not ask questions. The
+  /// shard runner (src/dist) uses it to stream progress heartbeats; it is
+  /// pure observation and never feeds back into the run.
+  void SetRoundCallback(std::function<void(int64_t rounds_closed)> cb) {
+    round_callback_ = std::move(cb);
+  }
 
   /// Asks a unary question (value estimate); not cached (each tuple is
   /// asked once by construction in the unary baseline).
@@ -399,6 +445,8 @@ class CrowdSession {
   int64_t replayed_unary_ = 0;
   obs::RunObserver* obs_ = nullptr;
   ObsHooks hooks_;
+  int64_t seeded_answers_ = 0;
+  std::function<void(int64_t)> round_callback_;
   int64_t round_start_ns_ = -1;  ///< trace timestamp of the open round's
                                  ///< first paid question; -1 = none
 };

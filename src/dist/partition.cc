@@ -1,0 +1,52 @@
+#include "dist/partition.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace crowdsky::dist {
+
+const char* PartitionSchemeName(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kRoundRobin:
+      return "round_robin";
+    case PartitionScheme::kBlock:
+      return "block";
+    case PartitionScheme::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+std::vector<int> ShardTupleIds(int num_tuples, int shards, int shard,
+                               PartitionScheme scheme) {
+  CROWDSKY_CHECK(num_tuples >= 0 && shards >= 1 && shard >= 0 &&
+                 shard < shards);
+  std::vector<int> ids;
+  switch (scheme) {
+    case PartitionScheme::kRoundRobin:
+      for (int i = shard; i < num_tuples; i += shards) ids.push_back(i);
+      break;
+    case PartitionScheme::kBlock: {
+      // First (num_tuples % shards) blocks get one extra tuple.
+      const int base = num_tuples / shards;
+      const int extra = num_tuples % shards;
+      const int begin = shard * base + (shard < extra ? shard : extra);
+      const int size = base + (shard < extra ? 1 : 0);
+      for (int i = begin; i < begin + size; ++i) ids.push_back(i);
+      break;
+    }
+    case PartitionScheme::kHash:
+      for (int i = 0; i < num_tuples; ++i) {
+        uint64_t state =
+            static_cast<uint64_t>(i) + uint64_t{0x5113d15c0bae71d1};
+        if (SplitMix64(&state) % static_cast<uint64_t>(shards) ==
+            static_cast<uint64_t>(shard)) {
+          ids.push_back(i);
+        }
+      }
+      break;
+  }
+  return ids;
+}
+
+}  // namespace crowdsky::dist

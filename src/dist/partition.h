@@ -1,0 +1,18 @@
+// Deterministic tuple partitioning for sharded execution. Pure functions
+// of (n, k, scheme): the coordinator, a freshly launched shard and a
+// restarted shard all recompute identical slices, which is what makes a
+// journal written by generation g replayable by generation g+1.
+#pragma once
+
+#include <vector>
+
+#include "dist/options.h"
+
+namespace crowdsky::dist {
+
+/// Global tuple ids owned by `shard` (0-based) of `shards`, ascending.
+/// The k slices are disjoint and cover [0, num_tuples) exactly.
+std::vector<int> ShardTupleIds(int num_tuples, int shards, int shard,
+                               PartitionScheme scheme);
+
+}  // namespace crowdsky::dist

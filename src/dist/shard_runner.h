@@ -1,0 +1,24 @@
+// Shard child-process entry point. A shard-capable binary (any test or
+// bench that embeds the coordinator) routes `--crowdsky_shard <spec>` from
+// its main() to RunShardChildMode before anything else:
+//
+//   int main(int argc, char** argv) {
+//     if (argc > 1 && std::string(argv[1]) == "--crowdsky_shard")
+//       return crowdsky::dist::RunShardChildMode(argc, argv);
+//     ...
+//   }
+//
+// The child loads the dataset CSV named by the spec, recomputes its tuple
+// slice with the shared partition function, runs the configured engine
+// over it (resuming from the shard journal when told to), and writes its
+// candidates + accounting + exported answers to an atomic result file —
+// heartbeating HELLO/PROG/DONE on the inherited pipe fd throughout.
+#pragma once
+
+namespace crowdsky::dist {
+
+/// Exit codes: 0 success, 1 engine/config error (result file carries the
+/// message), 2 unusable spec.
+int RunShardChildMode(int argc, char** argv);
+
+}  // namespace crowdsky::dist

@@ -1,0 +1,326 @@
+#include "dist/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/macros.h"
+#include "persist/recovery.h"
+
+namespace crowdsky::dist {
+namespace {
+
+/// The supervisor's only clock. Wall time is inherently nondeterministic;
+/// confining the read to this helper keeps the project linter's wall-clock
+/// rule scoped to one allowlisted line (the governor.cc idiom). Nothing
+/// derived from it feeds the shards' deterministic answer streams.
+double SupervisorNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A shard journal is worth resuming from when it at least holds a full
+/// header (magic + version + fingerprint + crc = 24 bytes); anything
+/// shorter is discarded and the incarnation starts fresh.
+bool JournalLooksResumable(const std::string& shard_dir) {
+  constexpr uint64_t kHeaderBytes = 24;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(
+      persist::JournalPath(shard_dir), ec);
+  return !ec && size >= kHeaderBytes;
+}
+
+/// Supervision state of one shard across incarnations.
+struct ShardState {
+  enum class Phase { kRunning, kBackoff, kCompleted, kDead };
+
+  Phase phase = Phase::kRunning;
+  pid_t pid = -1;
+  int pipe_fd = -1;  ///< read end of the heartbeat pipe (-1 once closed)
+  int generation = 0;
+  int restarts = 0;
+  bool straggler = false;
+  int64_t rounds = 0;
+  double started_at = 0.0;
+  double last_beat = 0.0;
+  double backoff_until = 0.0;
+  double finish_seconds = -1.0;  ///< wall duration of the last incarnation
+  std::string line_buffer;
+  std::string last_failure;
+};
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(const SupervisorOptions& options,
+                                 std::string shard_exe)
+    : options_(options), shard_exe_(std::move(shard_exe)) {
+  CROWDSKY_CHECK(options_.heartbeat_timeout_seconds > 0);
+  CROWDSKY_CHECK(options_.max_restarts >= 0);
+  CROWDSKY_CHECK(options_.poll_interval_seconds > 0);
+}
+
+Result<std::vector<ShardOutcome>> ShardSupervisor::Run(
+    const std::vector<ShardLaunch>& launches) {
+  const size_t n = launches.size();
+  std::vector<ShardState> states(n);
+
+  // Launches one incarnation of shard i: writes its generation spec file,
+  // opens a fresh heartbeat pipe and fork+execs the shard binary.
+  auto spawn = [&](size_t i) -> Status {
+    ShardState& st = states[i];
+    ShardSpec spec = launches[i].spec;
+    spec.generation = st.generation;
+    // Restarted incarnations resume; generation 0 resumes only when the
+    // coordinator asked for a whole-run resume (and the journal is usable
+    // either way).
+    spec.engine.durability.resume =
+        (st.generation > 0 || launches[i].spec.engine.durability.resume) &&
+        JournalLooksResumable(spec.shard_dir);
+    for (const ShardFaultInjection& fault : launches[i].faults) {
+      if (fault.shard != spec.shard || fault.generation != st.generation) {
+        continue;
+      }
+      switch (fault.kind) {
+        case ShardFaultKind::kKillAtRound:
+          spec.kill_at_round = fault.value;
+          break;
+        case ShardFaultKind::kKillAtRecord:
+          spec.kill_at_record = fault.value;
+          break;
+        case ShardFaultKind::kTornTailAtRecord:
+          spec.kill_at_record = fault.value;
+          spec.tear_bytes = fault.tear_bytes;
+          break;
+        case ShardFaultKind::kHangAtStart:
+          spec.hang_at_start = true;
+          break;
+        case ShardFaultKind::kHangAtRound:
+          spec.hang_at_round = fault.value;
+          break;
+        case ShardFaultKind::kSlowStart:
+          spec.slow_start_ms = fault.value;
+          break;
+      }
+    }
+
+    int fds[2];
+    if (pipe(fds) != 0) {
+      return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    }
+    // Read end: supervisor-only, nonblocking, never inherited. Write end:
+    // must survive the exec so the child can heartbeat on it.
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    spec.heartbeat_fd = fds[1];
+
+    const std::string spec_path =
+        spec.shard_dir + "/spec.gen" + std::to_string(st.generation) +
+        ".txt";
+    CROWDSKY_RETURN_NOT_OK(
+        WriteFileAtomic(spec_path, EncodeShardSpec(spec)));
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      return Status::IOError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: drop every other shard's pipe end, then become the shard.
+      close(fds[0]);
+      for (const ShardState& other : states) {
+        if (other.pipe_fd >= 0 && other.pipe_fd != fds[1]) {
+          close(other.pipe_fd);
+        }
+      }
+      execl(shard_exe_.c_str(), shard_exe_.c_str(), "--crowdsky_shard",
+            spec_path.c_str(), static_cast<char*>(nullptr));
+      _exit(127);  // exec failed; the supervisor sees a crash
+    }
+    close(fds[1]);
+    st.phase = ShardState::Phase::kRunning;
+    st.pid = pid;
+    st.pipe_fd = fds[0];
+    const double now = SupervisorNowSeconds();
+    st.started_at = now;
+    st.last_beat = now;
+    st.line_buffer.clear();
+    return Status::OK();
+  };
+
+  // Records a failed incarnation and either schedules a restart (with
+  // exponential backoff) or declares the shard dead.
+  auto handle_failure = [&](size_t i, const std::string& why) {
+    ShardState& st = states[i];
+    CloseFd(&st.pipe_fd);
+    st.pid = -1;
+    st.last_failure = why;
+    if (st.restarts >= options_.max_restarts) {
+      st.phase = ShardState::Phase::kDead;
+      return;
+    }
+    const double backoff = std::min(
+        options_.restart_backoff_base_seconds *
+            static_cast<double>(int64_t{1} << st.restarts),
+        options_.restart_backoff_max_seconds);
+    ++st.restarts;
+    ++st.generation;
+    st.phase = ShardState::Phase::kBackoff;
+    st.backoff_until = SupervisorNowSeconds() + backoff;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    CROWDSKY_RETURN_NOT_OK(spawn(i));
+  }
+
+  std::vector<double> finish_times;
+  auto all_settled = [&] {
+    for (const ShardState& st : states) {
+      if (st.phase == ShardState::Phase::kRunning ||
+          st.phase == ShardState::Phase::kBackoff) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (!all_settled()) {
+    // 1. Multiplex every live heartbeat pipe.
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_owner;
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i].phase == ShardState::Phase::kRunning &&
+          states[i].pipe_fd >= 0) {
+        fds.push_back(pollfd{states[i].pipe_fd, POLLIN, 0});
+        fd_owner.push_back(i);
+      }
+    }
+    if (!fds.empty()) {
+      poll(fds.data(), fds.size(),
+           static_cast<int>(options_.poll_interval_seconds * 1000));
+    }
+    const double now = SupervisorNowSeconds();
+    for (size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP)) == 0) continue;
+      ShardState& st = states[fd_owner[f]];
+      char buf[512];
+      for (;;) {
+        const ssize_t got = read(st.pipe_fd, buf, sizeof buf);
+        if (got <= 0) {
+          if (got == 0) CloseFd(&st.pipe_fd);  // writer gone; waitpid rules
+          break;
+        }
+        st.line_buffer.append(buf, static_cast<size_t>(got));
+        st.last_beat = now;
+      }
+      size_t pos;
+      while ((pos = st.line_buffer.find('\n')) != std::string::npos) {
+        const std::string line = st.line_buffer.substr(0, pos);
+        st.line_buffer.erase(0, pos + 1);
+        int64_t rounds = 0;
+        if (std::sscanf(line.c_str(), "PROG rounds=%" SCNd64, &rounds) ==
+            1) {
+          st.rounds = std::max(st.rounds, rounds);
+        }
+      }
+    }
+
+    // 2. Reap exits and catch hung shards.
+    for (size_t i = 0; i < n; ++i) {
+      ShardState& st = states[i];
+      if (st.phase != ShardState::Phase::kRunning) continue;
+      int wstatus = 0;
+      const pid_t reaped = waitpid(st.pid, &wstatus, WNOHANG);
+      if (reaped == st.pid) {
+        const bool clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+        const bool has_result = std::filesystem::exists(
+            launches[i].spec.shard_dir + "/result.txt");
+        if (clean && has_result) {
+          CloseFd(&st.pipe_fd);
+          st.pid = -1;
+          st.phase = ShardState::Phase::kCompleted;
+          st.finish_seconds = now - st.started_at;
+          finish_times.push_back(st.finish_seconds);
+        } else {
+          std::string why;
+          if (WIFSIGNALED(wstatus)) {
+            why = "killed by signal " + std::to_string(WTERMSIG(wstatus));
+          } else {
+            why = "exit code " +
+                  std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus)
+                                                    : -1);
+          }
+          if (clean && !has_result) why = "exited 0 without a result file";
+          handle_failure(i, why);
+        }
+        continue;
+      }
+      if (now - st.last_beat > options_.heartbeat_timeout_seconds) {
+        // Hung (or wedged before HELLO): kill and treat as a crash.
+        kill(st.pid, SIGKILL);
+        waitpid(st.pid, &wstatus, 0);
+        handle_failure(i, "heartbeat silence > " +
+                              std::to_string(
+                                  options_.heartbeat_timeout_seconds) +
+                              "s (hang)");
+      }
+    }
+
+    // 3. Relaunch shards whose backoff expired.
+    const double relaunch_now = SupervisorNowSeconds();
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i].phase == ShardState::Phase::kBackoff &&
+          relaunch_now >= states[i].backoff_until) {
+        CROWDSKY_RETURN_NOT_OK(spawn(i));
+      }
+    }
+
+    // 4. Advisory straggler flagging once half the fleet finished.
+    if (options_.straggler_factor > 0 &&
+        finish_times.size() * 2 >= n && !finish_times.empty()) {
+      std::vector<double> sorted = finish_times;
+      std::sort(sorted.begin(), sorted.end());
+      const double median = sorted[sorted.size() / 2];
+      for (ShardState& st : states) {
+        if (st.phase == ShardState::Phase::kRunning && median > 0 &&
+            relaunch_now - st.started_at >
+                options_.straggler_factor * median) {
+          st.straggler = true;
+        }
+      }
+    }
+  }
+
+  std::vector<ShardOutcome> outcomes(n);
+  for (size_t i = 0; i < n; ++i) {
+    outcomes[i].shard = launches[i].spec.shard;
+    outcomes[i].completed =
+        states[i].phase == ShardState::Phase::kCompleted;
+    outcomes[i].dead = states[i].phase == ShardState::Phase::kDead;
+    outcomes[i].restarts = states[i].restarts;
+    outcomes[i].straggler = states[i].straggler;
+    outcomes[i].last_rounds = states[i].rounds;
+    outcomes[i].last_failure = states[i].last_failure;
+  }
+  return outcomes;
+}
+
+}  // namespace crowdsky::dist

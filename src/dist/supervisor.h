@@ -1,0 +1,81 @@
+// ShardSupervisor: fault-tolerant process supervision for shard children.
+//
+// Each shard runs as a fork+exec'd child of a shard-capable binary with an
+// inherited pipe for heartbeats (HELLO on start, PROG per closed crowd
+// round, DONE after the result file is durable). The supervisor polls the
+// pipes and reaps children:
+//
+//   - a child that exits 0 with a result file is *completed*;
+//   - a child that crashes (any other exit, including the chaos harness's
+//     _Exit(137)) or goes heartbeat-silent past the timeout (hang) is
+//     SIGKILLed if needed and relaunched after exponential backoff, with
+//     `durability.resume` set whenever its shard journal is usable — the
+//     restarted incarnation replays every paid answer as credits (PR 4's
+//     recovery path) and re-pays nothing;
+//   - after `max_restarts` failed incarnations the shard is declared
+//     permanently *dead* and the run degrades gracefully: the coordinator
+//     merges the surviving shards and reports the gap.
+//
+// Straggler detection is advisory: once half the shards finished, a shard
+// running longer than straggler_factor x the median finish time is flagged
+// in its outcome (and the coordinator's ShardReport), never killed —
+// killing a slow-but-correct shard would trade latency for money.
+//
+// Wall-clock use (heartbeat timeouts, backoff, straggler math) is confined
+// to supervisor.cc behind a file-local clock helper, mirroring
+// governor.cc's allowlisted pattern; nothing here feeds the deterministic
+// question/answer stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/options.h"
+#include "dist/wire.h"
+
+namespace crowdsky::dist {
+
+/// One shard to launch and supervise. `spec` is the generation-0 spec;
+/// the supervisor rewrites generation, heartbeat_fd, resume flag and
+/// per-generation fault fields on every (re)launch.
+struct ShardLaunch {
+  ShardSpec spec;
+  /// Process-level faults for this shard, any generation.
+  std::vector<ShardFaultInjection> faults;
+};
+
+/// What supervision concluded about one shard.
+struct ShardOutcome {
+  int shard = 0;
+  bool completed = false;  ///< exited 0 with a result file
+  bool dead = false;       ///< exhausted max_restarts
+  int restarts = 0;
+  bool straggler = false;
+  /// Last PROG round count seen (progress witness for dead shards).
+  int64_t last_rounds = 0;
+  /// Human-readable description of the last failure ("" when clean).
+  std::string last_failure;
+};
+
+/// \brief Supervises a fleet of shard child processes to completion.
+///
+/// Single-threaded: one poll(2) loop multiplexes every heartbeat pipe and
+/// reaps children with waitpid(WNOHANG), so no std::thread is needed.
+class ShardSupervisor {
+ public:
+  ShardSupervisor(const SupervisorOptions& options, std::string shard_exe);
+
+  /// Launches every shard and supervises until each is completed or dead.
+  /// Fails only on supervisor-level errors (spawn failure, unwritable spec
+  /// files); shard-level failures are reported per ShardOutcome.
+  Result<std::vector<ShardOutcome>> Run(
+      const std::vector<ShardLaunch>& launches);
+
+ private:
+  const SupervisorOptions options_;
+  const std::string shard_exe_;
+};
+
+}  // namespace crowdsky::dist

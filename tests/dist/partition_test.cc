@@ -1,0 +1,97 @@
+#include "dist/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/coordinator.h"
+
+namespace crowdsky::dist {
+namespace {
+
+constexpr PartitionScheme kSchemes[] = {PartitionScheme::kRoundRobin,
+                                        PartitionScheme::kBlock,
+                                        PartitionScheme::kHash};
+
+TEST(PartitionTest, DisjointCoverForEverySchemeAndShape) {
+  for (const PartitionScheme scheme : kSchemes) {
+    for (const int n : {1, 2, 7, 40, 101}) {
+      for (const int k : {1, 2, 3, 8}) {
+        std::vector<int> owner(static_cast<size_t>(n), -1);
+        for (int shard = 0; shard < k; ++shard) {
+          const std::vector<int> ids = ShardTupleIds(n, k, shard, scheme);
+          EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+          for (const int id : ids) {
+            ASSERT_GE(id, 0);
+            ASSERT_LT(id, n);
+            EXPECT_EQ(owner[static_cast<size_t>(id)], -1)
+                << "tuple " << id << " double-owned, scheme "
+                << PartitionSchemeName(scheme) << " n=" << n << " k=" << k;
+            owner[static_cast<size_t>(id)] = shard;
+          }
+        }
+        EXPECT_EQ(std::count(owner.begin(), owner.end(), -1), 0)
+            << "uncovered tuple, scheme " << PartitionSchemeName(scheme)
+            << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, RoundRobinInterleaves) {
+  EXPECT_EQ(ShardTupleIds(7, 3, 0, PartitionScheme::kRoundRobin),
+            (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(ShardTupleIds(7, 3, 1, PartitionScheme::kRoundRobin),
+            (std::vector<int>{1, 4}));
+  EXPECT_EQ(ShardTupleIds(7, 3, 2, PartitionScheme::kRoundRobin),
+            (std::vector<int>{2, 5}));
+}
+
+TEST(PartitionTest, BlockIsContiguousAndBalanced) {
+  for (const int n : {10, 11, 12}) {
+    size_t min_size = static_cast<size_t>(n);
+    size_t max_size = 0;
+    int expected_begin = 0;
+    for (int shard = 0; shard < 4; ++shard) {
+      const std::vector<int> ids =
+          ShardTupleIds(n, 4, shard, PartitionScheme::kBlock);
+      ASSERT_FALSE(ids.empty());
+      EXPECT_EQ(ids.front(), expected_begin);
+      EXPECT_EQ(ids.back(), expected_begin + static_cast<int>(ids.size()) - 1);
+      expected_begin += static_cast<int>(ids.size());
+      min_size = std::min(min_size, ids.size());
+      max_size = std::max(max_size, ids.size());
+    }
+    EXPECT_EQ(expected_begin, n);
+    EXPECT_LE(max_size - min_size, 1u) << "n=" << n;
+  }
+}
+
+TEST(PartitionTest, DeterministicAcrossCalls) {
+  for (const PartitionScheme scheme : kSchemes) {
+    EXPECT_EQ(ShardTupleIds(64, 4, 2, scheme),
+              ShardTupleIds(64, 4, 2, scheme));
+  }
+}
+
+TEST(PartitionTest, SchemeNamesAreStable) {
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kRoundRobin),
+               "round_robin");
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kBlock), "block");
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kHash), "hash");
+}
+
+TEST(ShardSeedTest, DistinctPerShardAndDeterministic) {
+  std::vector<uint64_t> seeds;
+  for (int shard = 0; shard <= 8; ++shard) {
+    seeds.push_back(ShardSeed(42, shard));
+    EXPECT_EQ(seeds.back(), ShardSeed(42, shard));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  EXPECT_NE(ShardSeed(42, 0), ShardSeed(43, 0));
+}
+
+}  // namespace
+}  // namespace crowdsky::dist

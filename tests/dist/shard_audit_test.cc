@@ -1,0 +1,157 @@
+// Fabricated-violation tests for the shard.* rules: the coordinator can
+// never produce these snapshots, so each rule is driven directly.
+#include "audit/shard_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crowdsky::audit {
+namespace {
+
+/// A fully consistent 2-shard snapshot over 6 tuples: shard 0 owns the
+/// even ids, shard 1 the odd ids; one merge round of 2 questions.
+ShardMergeSnapshot CleanSnapshot() {
+  ShardMergeSnapshot s;
+  s.num_tuples = 6;
+  s.cost_model = AmtCostModel{};  // $0.02 * 5 workers, 5 questions per HIT
+
+  ShardMergeSnapshot::Shard shard0;
+  shard0.tuple_ids = {0, 2, 4};
+  shard0.candidates = {0, 4};
+  shard0.questions_per_round = {2, 1};
+  shard0.questions = 3;
+  shard0.cost_usd = s.cost_model.Cost(shard0.questions_per_round);
+
+  ShardMergeSnapshot::Shard shard1;
+  shard1.tuple_ids = {1, 3, 5};
+  shard1.candidates = {3};
+  shard1.questions_per_round = {3};
+  shard1.questions = 3;
+  shard1.cost_usd = s.cost_model.Cost(shard1.questions_per_round);
+
+  s.shards = {shard0, shard1};
+  s.merged_skyline = {0, 3};
+  s.merge_questions_per_round = {2};
+  s.merge_questions = 2;
+  s.merge_cost_usd = s.cost_model.Cost(s.merge_questions_per_round);
+  s.total_questions = 8;
+  s.total_cost_usd =
+      shard0.cost_usd + shard1.cost_usd + s.merge_cost_usd;
+  s.cost_cap_usd = 10.0;
+  s.complete = true;
+  return s;
+}
+
+AuditReport Audit(const ShardMergeSnapshot& snapshot) {
+  AuditReport report;
+  AuditShardMerge(snapshot, &report);
+  return report;
+}
+
+bool Violates(const AuditReport& report, const std::string& rule) {
+  for (const AuditViolation& v : report.violations) {
+    if (v.invariant == rule) return true;
+  }
+  return false;
+}
+
+TEST(ShardAuditTest, CleanSnapshotPasses) {
+  const AuditReport report = Audit(CleanSnapshot());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks, 0);
+}
+
+TEST(ShardAuditTest, DoubleOwnedTupleViolatesPartition) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[1].tuple_ids = {1, 3, 4};  // 4 also owned by shard 0
+  EXPECT_TRUE(Violates(Audit(s), "shard.partition"));
+}
+
+TEST(ShardAuditTest, UncoveredTupleViolatesPartition) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[1].tuple_ids = {1, 3};  // 5 owned by nobody
+  EXPECT_TRUE(Violates(Audit(s), "shard.partition"));
+}
+
+TEST(ShardAuditTest, ForeignCandidateViolatesOwnership) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[0].candidates = {0, 3};  // 3 belongs to shard 1
+  EXPECT_TRUE(Violates(Audit(s), "shard.candidate_ownership"));
+}
+
+TEST(ShardAuditTest, DeadShardWithCandidatesViolatesOwnership) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[1].dead = true;
+  // Candidates left in place despite death; fix the books elsewhere so
+  // only ownership (and attribution for its skyline tuple) can fire.
+  EXPECT_TRUE(Violates(Audit(s), "shard.candidate_ownership"));
+}
+
+TEST(ShardAuditTest, SkylineTupleNobodyContributedViolatesAttribution) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.merged_skyline = {0, 2, 3};  // 2 is no shard's candidate
+  const AuditReport report = Audit(s);
+  EXPECT_TRUE(Violates(report, "shard.attribution"));
+  EXPECT_TRUE(Violates(report, "shard.merge_membership"));
+}
+
+TEST(ShardAuditTest, QuestionsRoundsMismatchViolatesConservation) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[0].questions = 5;  // rounds still sum to 3
+  EXPECT_TRUE(Violates(Audit(s), "shard.question_conservation"));
+}
+
+TEST(ShardAuditTest, TotalQuestionsMismatchViolatesConservation) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.total_questions += 1;
+  EXPECT_TRUE(Violates(Audit(s), "shard.question_conservation"));
+}
+
+TEST(ShardAuditTest, CostNotDerivableFromRoundsViolatesConservation) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[0].cost_usd += 0.01;
+  EXPECT_TRUE(Violates(Audit(s), "shard.cost_conservation"));
+}
+
+TEST(ShardAuditTest, LostCostOutsideTotalViolatesConservation) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  // A dead incarnation's journaled spend must show up in the total.
+  s.shards[0].cost_lost_usd = 0.10;
+  EXPECT_TRUE(Violates(Audit(s), "shard.cost_conservation"));
+  s.total_cost_usd += 0.10;
+  EXPECT_FALSE(Violates(Audit(s), "shard.cost_conservation"));
+}
+
+TEST(ShardAuditTest, DeadSliceNotReportedViolatesCompleteness) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[1].dead = true;
+  s.shards[1].candidates.clear();
+  s.merged_skyline = {0, 4};
+  s.undetermined = {1, 3};  // 5 missing
+  s.complete = false;
+  EXPECT_TRUE(Violates(Audit(s), "shard.completeness"));
+  s.undetermined = {1, 3, 5};
+  EXPECT_FALSE(Violates(Audit(s), "shard.completeness"));
+}
+
+TEST(ShardAuditTest, CompleteFlagDespiteDeadShardViolatesCompleteness) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.shards[1].dead = true;
+  s.shards[1].candidates.clear();
+  s.merged_skyline = {0, 4};
+  s.undetermined = {1, 3, 5};
+  s.complete = true;  // lies
+  EXPECT_TRUE(Violates(Audit(s), "shard.completeness"));
+}
+
+TEST(ShardAuditTest, OverspendViolatesBudget) {
+  ShardMergeSnapshot s = CleanSnapshot();
+  s.cost_cap_usd = s.total_cost_usd / 2;
+  EXPECT_TRUE(Violates(Audit(s), "shard.budget"));
+  s.cost_cap_usd = 0.0;  // uncapped: rule does not apply
+  EXPECT_FALSE(Violates(Audit(s), "shard.budget"));
+}
+
+}  // namespace
+}  // namespace crowdsky::audit

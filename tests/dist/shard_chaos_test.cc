@@ -1,0 +1,319 @@
+// Process-level chaos suite for sharded execution: shard kills, torn
+// journal tails, hangs, stragglers, permanent deaths and whole-run resume,
+// crossed with crowd faults and governor caps.
+//
+// Every scenario asserts the recovery invariant of the shard supervisor:
+// a killed-and-restarted shard resumes from its journal and the whole
+// sharded run converges to the never-killed run bit-for-bit — same
+// skyline, same question ledger, same dollars (zero re-paid questions).
+// Auditing is on everywhere, so the in-driver rules run inside every
+// shard child and the shard.* rules run in the coordinator; a violation
+// crashes the run rather than surviving to the equality checks.
+//
+// This binary owns main(): with --crowdsky_shard it IS a shard child;
+// otherwise it runs the gtest suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generator.h"
+#include "dist/coordinator.h"
+#include "dist/shard_runner.h"
+#include "testing/temp_dir.h"
+
+namespace crowdsky::dist {
+namespace {
+
+constexpr int kCardinality = 24;
+
+Dataset MakeData(uint64_t seed) {
+  GeneratorOptions gen;
+  gen.cardinality = kCardinality;
+  gen.num_known = 2;
+  gen.num_crowd = 2;
+  gen.seed = seed;
+  return GenerateDataset(gen).ValueOrDie();
+}
+
+EngineOptions PerfectEngine(Algorithm algorithm) {
+  EngineOptions engine;
+  engine.algorithm = algorithm;
+  engine.oracle = OracleKind::kPerfect;
+  engine.crowdsky.audit = true;
+  return engine;
+}
+
+DistOptions MakeDist(const EngineOptions& engine, int k,
+                     const std::string& dir_tag) {
+  DistOptions options;
+  options.shards = k;
+  options.engine = engine;
+  options.run_dir = crowdsky::testing::FreshTempDir(dir_tag);
+  // Fast restarts: chaos scenarios restart on purpose and repeatedly.
+  options.supervisor.restart_backoff_base_seconds = 0.01;
+  options.supervisor.restart_backoff_max_seconds = 0.1;
+  return options;
+}
+
+DistResult RunOk(const Dataset& data, const DistOptions& options) {
+  const Result<DistResult> result = RunShardedSkylineQuery(data, options);
+  CROWDSKY_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return result.ValueOrDie();
+}
+
+/// The recovery invariant: two runs converged to the same answer AND the
+/// same ledgers — questions, rounds and dollars, per shard and in total.
+/// Restart bookkeeping (resumed, replayed, journal size) may differ.
+void ExpectSameOutcome(const DistResult& a, const DistResult& b,
+                       const std::string& tag) {
+  EXPECT_EQ(a.skyline, b.skyline) << tag;
+  EXPECT_EQ(a.skyline_labels, b.skyline_labels) << tag;
+  EXPECT_EQ(a.total_questions, b.total_questions) << tag;
+  EXPECT_EQ(a.rounds, b.rounds) << tag;
+  EXPECT_EQ(a.total_cost_usd, b.total_cost_usd) << tag;
+  EXPECT_EQ(a.merge.questions, b.merge.questions) << tag;
+  EXPECT_EQ(a.merge.imported_answers, b.merge.imported_answers) << tag;
+  EXPECT_EQ(a.completeness.undetermined_tuples,
+            b.completeness.undetermined_tuples)
+      << tag;
+  ASSERT_EQ(a.shards.size(), b.shards.size()) << tag;
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].candidates, b.shards[i].candidates) << tag;
+    EXPECT_EQ(a.shards[i].questions, b.shards[i].questions) << tag;
+    EXPECT_EQ(a.shards[i].rounds, b.shards[i].rounds) << tag;
+    EXPECT_EQ(a.shards[i].cost_usd, b.shards[i].cost_usd) << tag;
+  }
+}
+
+constexpr Algorithm kDrivers[] = {Algorithm::kCrowdSkySerial,
+                                  Algorithm::kParallelDSet,
+                                  Algorithm::kParallelSL};
+
+// The headline scenario: kill each shard at two round offsets, per driver.
+// The restarted incarnation must resume from its journal (replaying paid
+// answers as credits, re-paying nothing) and the run must converge to the
+// never-killed k-shard run and the k = 1 run.
+TEST(ShardChaosTest, KillAndRestartConvergesBitIdenticalAcrossDrivers) {
+  const Dataset data = MakeData(31);
+  for (const Algorithm algorithm : kDrivers) {
+    const EngineOptions engine = PerfectEngine(algorithm);
+    const std::string name = AlgorithmName(algorithm);
+    const DistResult clean =
+        RunOk(data, MakeDist(engine, 2, "sc_clean_" + name));
+    const DistResult single =
+        RunOk(data, MakeDist(engine, 1, "sc_k1_" + name));
+    EXPECT_EQ(clean.skyline, single.skyline) << name;
+
+    for (const int shard : {0, 1}) {
+      for (const int64_t offset : {int64_t{1}, int64_t{2}}) {
+        const std::string tag = "sc_kill_" + name + "_s" +
+                                std::to_string(shard) + "_r" +
+                                std::to_string(offset);
+        DistOptions options = MakeDist(engine, 2, tag);
+        options.faults.push_back({.shard = shard,
+                                  .kind = ShardFaultKind::kKillAtRound,
+                                  .value = offset});
+        const DistResult faulted = RunOk(data, options);
+        ExpectSameOutcome(faulted, clean, tag);
+        EXPECT_EQ(faulted.restarts_total, 1) << tag;
+        EXPECT_EQ(faulted.shards_dead, 0) << tag;
+        const ShardReport& killed =
+            faulted.shards[static_cast<size_t>(shard)];
+        EXPECT_EQ(killed.restarts, 1) << tag;
+        EXPECT_TRUE(killed.resumed) << tag;
+        // Zero re-paid questions: the ledgers already matched the clean
+        // run above, and the journal replay is what paid for the rounds
+        // the first incarnation had finished.
+        EXPECT_GT(killed.replayed_pair_attempts, 0) << tag;
+      }
+    }
+  }
+}
+
+TEST(ShardChaosTest, TornJournalTailRecoversBitIdentical) {
+  const Dataset data = MakeData(37);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelSL);
+  const DistResult clean = RunOk(data, MakeDist(engine, 2, "sc_torn_clean"));
+
+  DistOptions options = MakeDist(engine, 2, "sc_torn");
+  options.faults.push_back({.shard = 0,
+                            .kind = ShardFaultKind::kTornTailAtRecord,
+                            .value = 4,
+                            .tear_bytes = 9});
+  const DistResult faulted = RunOk(data, options);
+  ExpectSameOutcome(faulted, clean, "torn");
+  EXPECT_EQ(faulted.restarts_total, 1);
+  EXPECT_TRUE(faulted.shards[0].resumed);
+}
+
+TEST(ShardChaosTest, HangBeforeHelloIsDetectedAndRestarted) {
+  const Dataset data = MakeData(41);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelDSet);
+  const DistResult clean = RunOk(data, MakeDist(engine, 2, "sc_hang0_clean"));
+
+  DistOptions options = MakeDist(engine, 2, "sc_hang0");
+  options.supervisor.heartbeat_timeout_seconds = 1.0;
+  options.faults.push_back(
+      {.shard = 1, .kind = ShardFaultKind::kHangAtStart});
+  const DistResult faulted = RunOk(data, options);
+  ExpectSameOutcome(faulted, clean, "hang_at_start");
+  EXPECT_EQ(faulted.restarts_total, 1);
+  // Hung before doing any work: nothing journaled, so the restart is a
+  // fresh start, not a resume.
+  EXPECT_FALSE(faulted.shards[1].resumed);
+}
+
+TEST(ShardChaosTest, MidRunHangIsKilledAndResumed) {
+  const Dataset data = MakeData(43);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelSL);
+  const DistResult clean = RunOk(data, MakeDist(engine, 2, "sc_hang1_clean"));
+
+  DistOptions options = MakeDist(engine, 2, "sc_hang1");
+  options.supervisor.heartbeat_timeout_seconds = 1.0;
+  options.faults.push_back(
+      {.shard = 0, .kind = ShardFaultKind::kHangAtRound, .value = 1});
+  const DistResult faulted = RunOk(data, options);
+  ExpectSameOutcome(faulted, clean, "hang_at_round");
+  EXPECT_EQ(faulted.restarts_total, 1);
+  // The hang fires after round 1's journal boundary is durable, so the
+  // restarted incarnation resumes past it.
+  EXPECT_TRUE(faulted.shards[0].resumed);
+  EXPECT_GT(faulted.shards[0].replayed_pair_attempts, 0);
+}
+
+TEST(ShardChaosTest, PermanentlyDeadShardDegradesGracefully) {
+  const Dataset data = MakeData(47);
+  const EngineOptions engine = PerfectEngine(Algorithm::kCrowdSkySerial);
+  DistOptions options = MakeDist(engine, 2, "sc_dead");
+  options.supervisor.max_restarts = 1;
+  // Every incarnation of shard 0 dies at round 1: generation 1 resumes,
+  // replays round 1, and the kill hook fires again during replay.
+  for (const int generation : {0, 1}) {
+    options.faults.push_back({.shard = 0,
+                              .kind = ShardFaultKind::kKillAtRound,
+                              .value = 1,
+                              .generation = generation});
+  }
+  const DistResult result = RunOk(data, options);
+
+  EXPECT_EQ(result.shards_dead, 1);
+  EXPECT_EQ(result.shards[0].state, ShardReport::State::kDead);
+  EXPECT_EQ(result.shards[0].termination_reason, "dead");
+  EXPECT_TRUE(result.shards[0].candidates.empty());
+  EXPECT_EQ(result.shards[1].state, ShardReport::State::kCompleted);
+
+  // The dead slice is a gap, not a set of tentative members: excluded
+  // from the skyline, reported undetermined, money surfaced as lost.
+  EXPECT_FALSE(result.completeness.complete);
+  EXPECT_EQ(result.completeness.undetermined_tuples,
+            result.shards[0].tuple_ids);
+  for (const int id : result.skyline) {
+    EXPECT_TRUE(std::binary_search(result.shards[1].tuple_ids.begin(),
+                                   result.shards[1].tuple_ids.end(), id))
+        << "skyline tuple " << id << " not owned by the surviving shard";
+  }
+  // Round 1 was journaled before each death, so the journal proves spend.
+  EXPECT_GT(result.cost_lost_usd, 0.0);
+  EXPECT_EQ(result.cost_lost_usd, result.shards[0].cost_lost_usd);
+  // Survivors' answers still merge into a self-consistent (audited —
+  // RunOk would have crashed on a shard.* violation) partial result.
+  EXPECT_FALSE(result.skyline.empty());
+}
+
+TEST(ShardChaosTest, EveryShardDeadFailsInsteadOfLying) {
+  const Dataset data = MakeData(53);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelSL);
+  DistOptions options = MakeDist(engine, 2, "sc_alldead");
+  options.supervisor.max_restarts = 0;
+  for (const int shard : {0, 1}) {
+    options.faults.push_back({.shard = shard,
+                              .kind = ShardFaultKind::kKillAtRound,
+                              .value = 1});
+  }
+  const Result<DistResult> result = RunShardedSkylineQuery(data, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardChaosTest, CrowdFaultsGovernorCapAndShardKillCompose) {
+  const Dataset data = MakeData(59);
+  EngineOptions engine = PerfectEngine(Algorithm::kParallelSL);
+  engine.oracle = OracleKind::kMarketplace;
+  engine.marketplace.faults.transient_error_rate = 0.15;
+  engine.marketplace.faults.worker_no_show_rate = 0.10;
+  engine.governor.max_cost_usd = 50.0;  // capped, but not binding
+  engine.seed = 4242;
+
+  const DistResult clean = RunOk(data, MakeDist(engine, 2, "sc_cross_clean"));
+
+  DistOptions options = MakeDist(engine, 2, "sc_cross_a");
+  options.faults.push_back(
+      {.shard = 1, .kind = ShardFaultKind::kKillAtRound, .value = 2});
+  const DistResult faulted = RunOk(data, options);
+  ExpectSameOutcome(faulted, clean, "cross");
+  EXPECT_EQ(faulted.restarts_total, 1);
+  EXPECT_TRUE(faulted.shards[1].resumed);
+
+  // Seeded determinism: the whole faulted scenario replays exactly.
+  DistOptions repeat = options;
+  repeat.run_dir = crowdsky::testing::FreshTempDir("sc_cross_b");
+  const DistResult again = RunOk(data, repeat);
+  ExpectSameOutcome(again, faulted, "cross_repeat");
+  EXPECT_EQ(again.restarts_total, faulted.restarts_total);
+}
+
+TEST(ShardChaosTest, SlowShardIsFlaggedStragglerNotKilled) {
+  const Dataset data = MakeData(61);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelSL);
+  const DistResult clean = RunOk(data, MakeDist(engine, 3, "sc_slow_clean"));
+
+  DistOptions options = MakeDist(engine, 3, "sc_slow");
+  options.supervisor.straggler_factor = 1.5;
+  options.faults.push_back({.shard = 2,
+                            .kind = ShardFaultKind::kSlowStart,
+                            .value = 2500});
+  const DistResult result = RunOk(data, options);
+  ExpectSameOutcome(result, clean, "slow");
+  EXPECT_EQ(result.restarts_total, 0);
+  EXPECT_EQ(result.shards_dead, 0);
+  EXPECT_TRUE(result.shards[2].straggler);
+  EXPECT_EQ(result.stragglers, 1);
+  EXPECT_EQ(result.shards[2].state, ShardReport::State::kCompleted);
+}
+
+TEST(ShardChaosTest, WholeRunResumeRepaysNothing) {
+  const Dataset data = MakeData(67);
+  const EngineOptions engine = PerfectEngine(Algorithm::kParallelDSet);
+  DistOptions options = MakeDist(engine, 2, "sc_resume");
+  const DistResult first = RunOk(data, options);
+
+  // Second run over the same run_dir with resume: every shard and the
+  // merge replay their complete journals; the journals do not grow.
+  options.resume = true;
+  const DistResult second = RunOk(data, options);
+  ExpectSameOutcome(second, first, "whole_run_resume");
+  ASSERT_TRUE(second.merge.ran);
+  EXPECT_TRUE(second.merge.resumed);
+  for (size_t i = 0; i < second.shards.size(); ++i) {
+    EXPECT_TRUE(second.shards[i].resumed) << "shard " << i;
+    EXPECT_GT(second.shards[i].replayed_pair_attempts, 0) << "shard " << i;
+    EXPECT_EQ(second.shards[i].journal_records,
+              first.shards[i].journal_records)
+        << "shard " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crowdsky::dist
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--crowdsky_shard") == 0) {
+    return crowdsky::dist::RunShardChildMode(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,191 @@
+#include "dist/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "testing/temp_dir.h"
+
+namespace crowdsky::dist {
+namespace {
+
+TEST(WireTest, ShardSpecRoundTrip) {
+  ShardSpec spec;
+  spec.shard = 3;
+  spec.shards = 8;
+  spec.generation = 2;
+  spec.partition = PartitionScheme::kHash;
+  spec.dataset_csv = "/tmp/run/dataset.csv";
+  spec.shard_dir = "/tmp/run/shard_3";
+  spec.heartbeat_fd = 17;
+  spec.engine.algorithm = Algorithm::kParallelDSet;
+  spec.engine.oracle = OracleKind::kMarketplace;
+  spec.engine.worker.p_correct = 0.8125;
+  spec.engine.workers_per_question = 7;
+  spec.engine.dynamic_voting = true;
+  spec.engine.seed = 0xfeedbeef;
+  spec.engine.max_questions = 321;
+  spec.engine.marketplace.pool_size = 33;
+  spec.engine.marketplace.population.p_correct = 0.75;
+  spec.engine.marketplace.faults.transient_error_rate = 0.125;
+  spec.engine.marketplace.faults.worker_no_show_rate = 0.0625;
+  spec.engine.marketplace.seed = 99;
+  spec.engine.retry.max_retries = 5;
+  spec.engine.cost_model.reward_per_hit = 0.04;
+  spec.engine.governor.max_rounds = 11;
+  spec.engine.governor.max_cost_usd = 1.5;
+  spec.engine.durability.resume = true;
+  spec.engine.durability.checkpoint_every_rounds = 3;
+  spec.engine.crowdsky.pruning.use_p2 = false;
+  spec.engine.crowdsky.audit = true;
+  spec.kill_at_round = 4;
+  spec.kill_at_record = 9;
+  spec.tear_bytes = 13;
+  spec.hang_at_start = true;
+  spec.hang_at_round = 6;
+  spec.slow_start_ms = 250;
+
+  const Result<ShardSpec> decoded = DecodeShardSpec(EncodeShardSpec(spec));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ShardSpec& d = decoded.ValueOrDie();
+  EXPECT_EQ(d.shard, spec.shard);
+  EXPECT_EQ(d.shards, spec.shards);
+  EXPECT_EQ(d.generation, spec.generation);
+  EXPECT_EQ(d.partition, spec.partition);
+  EXPECT_EQ(d.dataset_csv, spec.dataset_csv);
+  EXPECT_EQ(d.shard_dir, spec.shard_dir);
+  EXPECT_EQ(d.heartbeat_fd, spec.heartbeat_fd);
+  EXPECT_EQ(d.engine.algorithm, spec.engine.algorithm);
+  EXPECT_EQ(d.engine.oracle, spec.engine.oracle);
+  EXPECT_EQ(d.engine.worker.p_correct, spec.engine.worker.p_correct);
+  EXPECT_EQ(d.engine.workers_per_question, spec.engine.workers_per_question);
+  EXPECT_EQ(d.engine.dynamic_voting, spec.engine.dynamic_voting);
+  EXPECT_EQ(d.engine.seed, spec.engine.seed);
+  EXPECT_EQ(d.engine.max_questions, spec.engine.max_questions);
+  EXPECT_EQ(d.engine.marketplace.pool_size, spec.engine.marketplace.pool_size);
+  EXPECT_EQ(d.engine.marketplace.population.p_correct,
+            spec.engine.marketplace.population.p_correct);
+  EXPECT_EQ(d.engine.marketplace.faults.transient_error_rate,
+            spec.engine.marketplace.faults.transient_error_rate);
+  EXPECT_EQ(d.engine.marketplace.faults.worker_no_show_rate,
+            spec.engine.marketplace.faults.worker_no_show_rate);
+  EXPECT_EQ(d.engine.marketplace.seed, spec.engine.marketplace.seed);
+  EXPECT_EQ(d.engine.retry.max_retries, spec.engine.retry.max_retries);
+  EXPECT_EQ(d.engine.cost_model.reward_per_hit,
+            spec.engine.cost_model.reward_per_hit);
+  EXPECT_EQ(d.engine.governor.max_rounds, spec.engine.governor.max_rounds);
+  EXPECT_EQ(d.engine.governor.max_cost_usd,
+            spec.engine.governor.max_cost_usd);
+  // The journal directory is derived from the shard dir, not transmitted.
+  EXPECT_EQ(d.engine.durability.dir, spec.shard_dir);
+  EXPECT_EQ(d.engine.durability.resume, spec.engine.durability.resume);
+  EXPECT_EQ(d.engine.durability.checkpoint_every_rounds,
+            spec.engine.durability.checkpoint_every_rounds);
+  EXPECT_EQ(d.engine.crowdsky.pruning.use_p2,
+            spec.engine.crowdsky.pruning.use_p2);
+  EXPECT_TRUE(d.engine.crowdsky.pruning.use_p1);
+  EXPECT_EQ(d.engine.crowdsky.audit, spec.engine.crowdsky.audit);
+  EXPECT_EQ(d.kill_at_round, spec.kill_at_round);
+  EXPECT_EQ(d.kill_at_record, spec.kill_at_record);
+  EXPECT_EQ(d.tear_bytes, spec.tear_bytes);
+  EXPECT_EQ(d.hang_at_start, spec.hang_at_start);
+  EXPECT_EQ(d.hang_at_round, spec.hang_at_round);
+  EXPECT_EQ(d.slow_start_ms, spec.slow_start_ms);
+}
+
+TEST(WireTest, ShardResultRoundTrip) {
+  ShardResult r;
+  r.ok = true;
+  r.skyline = {0, 4, 9};
+  r.undetermined = {4};
+  r.questions = 42;
+  r.rounds = 7;
+  r.questions_per_round = {10, 10, 10, 5, 3, 2, 2};
+  r.free_lookups = 12;
+  r.retries = 1;
+  r.cost_usd = 0.34;
+  r.incomplete_tuples = 1;
+  r.resolved_questions = 41;
+  r.unresolved_questions = 1;
+  r.budget_exhausted = true;
+  r.resumed = true;
+  r.used_checkpoint = true;
+  r.replayed_pair_attempts = 17;
+  r.journal_records = 60;
+  r.termination_reason = "dollar_cap";
+  r.answers = {{0, 0, 4, Answer::kFirstPreferred},
+               {1, 4, 9, Answer::kSecondPreferred},
+               {1, 0, 9, Answer::kEqual}};
+
+  const Result<ShardResult> decoded =
+      DecodeShardResult(EncodeShardResult(r));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ShardResult& d = decoded.ValueOrDie();
+  EXPECT_TRUE(d.ok);
+  EXPECT_EQ(d.skyline, r.skyline);
+  EXPECT_EQ(d.undetermined, r.undetermined);
+  EXPECT_EQ(d.questions, r.questions);
+  EXPECT_EQ(d.rounds, r.rounds);
+  EXPECT_EQ(d.questions_per_round, r.questions_per_round);
+  EXPECT_EQ(d.free_lookups, r.free_lookups);
+  EXPECT_EQ(d.retries, r.retries);
+  EXPECT_EQ(d.cost_usd, r.cost_usd);
+  EXPECT_EQ(d.incomplete_tuples, r.incomplete_tuples);
+  EXPECT_EQ(d.resolved_questions, r.resolved_questions);
+  EXPECT_EQ(d.unresolved_questions, r.unresolved_questions);
+  EXPECT_EQ(d.budget_exhausted, r.budget_exhausted);
+  EXPECT_EQ(d.retries_exhausted, r.retries_exhausted);
+  EXPECT_EQ(d.resumed, r.resumed);
+  EXPECT_EQ(d.used_checkpoint, r.used_checkpoint);
+  EXPECT_EQ(d.replayed_pair_attempts, r.replayed_pair_attempts);
+  EXPECT_EQ(d.journal_records, r.journal_records);
+  EXPECT_EQ(d.termination_reason, r.termination_reason);
+  ASSERT_EQ(d.answers.size(), r.answers.size());
+  for (size_t i = 0; i < r.answers.size(); ++i) {
+    EXPECT_EQ(d.answers[i].attr, r.answers[i].attr);
+    EXPECT_EQ(d.answers[i].u, r.answers[i].u);
+    EXPECT_EQ(d.answers[i].v, r.answers[i].v);
+    EXPECT_EQ(d.answers[i].answer, r.answers[i].answer);
+  }
+}
+
+TEST(WireTest, ErrorResultRoundTrip) {
+  ShardResult r;
+  r.ok = false;
+  r.error = "engine failed:\nmulti-line detail";
+  const Result<ShardResult> decoded =
+      DecodeShardResult(EncodeShardResult(r));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded.ValueOrDie().ok);
+  EXPECT_EQ(decoded.ValueOrDie().error, "engine failed: multi-line detail");
+}
+
+TEST(WireTest, RejectsForeignAndCorruptInput) {
+  EXPECT_FALSE(DecodeShardSpec("format=something-else\n").ok());
+  EXPECT_FALSE(DecodeShardResult("").ok());
+  ShardSpec spec;
+  std::string text = EncodeShardSpec(spec);
+  text += "seed=notanumber\n";
+  EXPECT_FALSE(DecodeShardSpec(text).ok());
+  ShardResult r;
+  r.ok = true;
+  std::string rtext = EncodeShardResult(r);
+  rtext += "answers=1:2:3:9\n";
+  EXPECT_FALSE(DecodeShardResult(rtext).ok());
+}
+
+TEST(WireTest, WriteFileAtomicLeavesNoTmpAndRoundTrips) {
+  const std::string path = crowdsky::testing::FreshTempPath("wire.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  const Result<std::string> back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie(), "hello\nworld\n");
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "second");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crowdsky::dist

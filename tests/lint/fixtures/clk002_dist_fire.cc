@@ -1,0 +1,21 @@
+// lint-path: src/dist/coordinator.cc
+// expect-lint: CS-CLK002
+//
+// The supervisor allowlist entry is scoped to src/dist/supervisor.cc (and
+// to the one 'system_clock' token there); a wall-clock read anywhere else
+// in src/dist/ must still fail the build — the coordinator and the merge
+// are on the deterministic path.
+
+#include <chrono>
+#include <cstdint>
+
+namespace crowdsky::dist {
+
+int64_t CoordinatorWallClockNs() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace crowdsky::dist
