@@ -1,0 +1,157 @@
+// Multi-query service sweep: what cross-query HIT packing saves, and what
+// the service sustains, as a function of
+//
+//  * concurrent-query count — more simultaneous queries mean fuller
+//    shared HITs; with serial CrowdSky queries (one question per round)
+//    every query beyond the first rides almost free,
+//  * questions per HIT — the paper fixes 5 (Section 6.2); sweeping it
+//    shows packing is exactly the ⌈·⌉ rounding recovered (at 1 question
+//    per HIT, packing can save nothing).
+//
+// Each cell reports the packed/isolated HIT and dollar ledgers plus
+// queries/sec (wall-clock, machine-dependent — recorded for trend, not
+// for exact regression comparison). Emits BENCH_service.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generator.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace crowdsky;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+using namespace crowdsky::bench;  // NOLINT(google-build-using-namespace): bench mains read like paper pseudocode
+
+std::vector<Dataset> SweepDatasets(int count) {
+  std::vector<Dataset> datasets;
+  datasets.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    GeneratorOptions gen;
+    gen.cardinality = Scaled(80) + 7 * i;
+    gen.num_known = 2;
+    gen.num_crowd = 1;
+    gen.seed = uint64_t{0x5e671ce} + static_cast<uint64_t>(i);
+    datasets.push_back(GenerateDataset(gen).ValueOrDie());
+  }
+  return datasets;
+}
+
+std::vector<service::ServiceQuery> SweepQueries(
+    const std::vector<Dataset>& datasets, int questions_per_hit) {
+  std::vector<service::ServiceQuery> queries;
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    service::ServiceQuery query;
+    query.dataset = &datasets[i];
+    // Serial CrowdSky is the packing-friendly extreme: one question per
+    // round, so in isolation every round pays a whole HIT.
+    query.options.algorithm = Algorithm::kCrowdSkySerial;
+    query.options.oracle = OracleKind::kPerfect;
+    query.options.seed = uint64_t{0xbeef} + i;
+    query.options.cost_model.questions_per_hit = questions_per_hit;
+    char label[32];
+    std::snprintf(label, sizeof(label), "q%zu", i);
+    query.label = label;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+struct CellResult {
+  service::PackingLedger packing;
+  int completed = 0;
+  double wall_seconds = 0.0;
+};
+
+CellResult RunCell(const std::vector<service::ServiceQuery>& queries) {
+  service::ServiceOptions options;
+  options.max_concurrent = static_cast<int>(queries.size());
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = service::RunService(queries, options);
+  report.status().CheckOK();
+  CellResult out;
+  out.packing = report->packing;
+  out.completed = report->completed;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+void RecordCell(const std::string& section, const std::string& setting,
+                int run, size_t queries, const CellResult& cell) {
+  const double qps = cell.wall_seconds > 0.0
+                         ? static_cast<double>(cell.completed) /
+                               cell.wall_seconds
+                         : 0.0;
+  BenchReport::Get().AddCell(
+      section, setting, "service", run,
+      {{"queries", static_cast<double>(queries)},
+       {"completed", static_cast<double>(cell.completed)},
+       {"epochs", static_cast<double>(cell.packing.epochs)},
+       {"slots", static_cast<double>(cell.packing.slots)},
+       {"packed_hits", static_cast<double>(cell.packing.packed_hits)},
+       {"isolated_hits", static_cast<double>(cell.packing.isolated_hits)},
+       {"cost_packed_usd", cell.packing.cost_packed_usd},
+       {"cost_isolated_usd", cell.packing.cost_isolated_usd},
+       {"saved_usd", cell.packing.cost_saved_usd},
+       {"queries_per_sec", qps},
+       {"wall_seconds", cell.wall_seconds}});
+}
+
+}  // namespace
+
+int main() {
+  JsonReportScope report("service");
+  const int runs = Runs();
+
+  Section("packing saving vs concurrent-query count (5 questions/HIT)");
+  Table table({"queries", "slots", "packed", "isolated", "saved $",
+               "queries/s"});
+  table.PrintHeader();
+  for (const int concurrency : {1, 2, 4, 8}) {
+    const std::vector<Dataset> datasets = SweepDatasets(concurrency);
+    const auto queries = SweepQueries(datasets, 5);
+    CellResult cell;
+    for (int run = 0; run < runs; ++run) {
+      cell = RunCell(queries);
+      RecordCell("concurrency", "queries=" + std::to_string(concurrency),
+                 run, queries.size(), cell);
+    }
+    table.PrintCell(static_cast<int64_t>(concurrency));
+    table.PrintCell(cell.packing.slots);
+    table.PrintCell(cell.packing.packed_hits);
+    table.PrintCell(cell.packing.isolated_hits);
+    table.PrintCell(cell.packing.cost_saved_usd, 2);
+    table.PrintCell(cell.wall_seconds > 0.0
+                        ? static_cast<double>(cell.completed) /
+                              cell.wall_seconds
+                        : 0.0,
+                    1);
+    table.EndRow();
+  }
+
+  Section("packing saving vs questions per HIT (4 concurrent queries)");
+  Table qtable({"q/HIT", "slots", "packed", "isolated", "saved $"});
+  qtable.PrintHeader();
+  const std::vector<Dataset> datasets = SweepDatasets(4);
+  for (const int qph : {1, 3, 5, 10}) {
+    const auto queries = SweepQueries(datasets, qph);
+    CellResult cell;
+    for (int run = 0; run < runs; ++run) {
+      cell = RunCell(queries);
+      RecordCell("questions_per_hit", "qph=" + std::to_string(qph), run,
+                 queries.size(), cell);
+    }
+    qtable.PrintCell(static_cast<int64_t>(qph));
+    qtable.PrintCell(cell.packing.slots);
+    qtable.PrintCell(cell.packing.packed_hits);
+    qtable.PrintCell(cell.packing.isolated_hits);
+    qtable.PrintCell(cell.packing.cost_saved_usd, 2);
+    qtable.EndRow();
+  }
+
+  return 0;
+}

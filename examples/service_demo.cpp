@@ -1,0 +1,93 @@
+// Multi-query service demo: several skyline campaigns share one crowd.
+//
+// Three teams each want a skyline over their own data. Run alone, each
+// campaign pays the paper's cost formula — and every partially-filled HIT
+// rounds up. Submitted together through RunService, same-round questions
+// from different campaigns share HITs, and the service's packing ledger
+// shows exactly what the sharing saved.
+//
+// Usage: service_demo [num_queries] [budget_usd]
+//   num_queries  concurrent campaigns to submit (default 3)
+//   budget_usd   optional service-wide budget split evenly across them
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/crowdsky.h"
+#include "service/service.h"
+
+using namespace crowdsky;  // NOLINT
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double budget_usd = argc > 2 ? std::atof(argv[2]) : 0.0;
+  if (num_queries < 1) {
+    std::fprintf(stderr, "usage: %s [num_queries>=1] [budget_usd]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Each campaign: its own dataset, driver and seed. The serial driver
+  // (one question per round) benefits the most from sharing; ParallelSL
+  // shows that wide rounds pack too.
+  const Algorithm drivers[] = {Algorithm::kCrowdSkySerial,
+                               Algorithm::kParallelSL,
+                               Algorithm::kParallelDSet};
+  std::vector<Dataset> datasets;
+  datasets.reserve(static_cast<size_t>(num_queries));
+  std::vector<service::ServiceQuery> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    GeneratorOptions gen;
+    gen.cardinality = 60 + 20 * (i % 3);
+    gen.num_known = 2;
+    gen.num_crowd = 1;
+    gen.seed = uint64_t{100} + static_cast<uint64_t>(i);
+    datasets.push_back(GenerateDataset(gen).ValueOrDie());
+
+    service::ServiceQuery query;
+    query.dataset = &datasets.back();
+    query.options.algorithm = drivers[i % 3];
+    query.options.oracle = OracleKind::kPerfect;
+    query.options.seed = gen.seed;
+    query.label = "campaign" + std::to_string(i);
+    queries.push_back(query);
+  }
+
+  service::ServiceOptions options;
+  options.max_concurrent = num_queries;
+  options.total_budget_usd = budget_usd;
+  options.audit = true;  // prove the ledger before printing it
+  const auto report = service::RunService(queries, options);
+  report.status().CheckOK();
+
+  std::printf("%-12s %-12s %9s %7s %8s %9s %7s\n", "campaign", "driver",
+              "questions", "rounds", "cost($)", "skyline", "cap($)");
+  for (const service::QueryOutcome& outcome : report->queries) {
+    const AlgoResult& algo = outcome.result.algo;
+    std::printf("%-12s %-12s %9lld %7lld %8.2f %9zu %7.2f\n",
+                outcome.label.c_str(),
+                AlgorithmName(queries[static_cast<size_t>(outcome.query_id)]
+                                  .options.algorithm),
+                static_cast<long long>(algo.questions),
+                static_cast<long long>(algo.rounds), outcome.result.cost_usd,
+                algo.skyline.size(), outcome.budget_slice_usd);
+  }
+
+  const service::PackingLedger& packing = report->packing;
+  std::printf("\nShared-crowd ledger (%lld epochs, %lld question slots):\n",
+              static_cast<long long>(packing.epochs),
+              static_cast<long long>(packing.slots));
+  std::printf("  isolated: %5lld HITs  $%.2f   (each campaign alone)\n",
+              static_cast<long long>(packing.isolated_hits),
+              packing.cost_isolated_usd);
+  std::printf("  packed:   %5lld HITs  $%.2f   (shared HITs)\n",
+              static_cast<long long>(packing.packed_hits),
+              packing.cost_packed_usd);
+  std::printf("  saved:    $%.2f (%.0f%%)\n", packing.cost_saved_usd,
+              packing.cost_isolated_usd > 0.0
+                  ? 100.0 * packing.cost_saved_usd /
+                        packing.cost_isolated_usd
+                  : 0.0);
+  return 0;
+}

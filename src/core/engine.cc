@@ -269,6 +269,13 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     return Status::InvalidArgument(
         "durability.resume requires durability.dir");
   }
+  if (options.wrap_oracle && options.durability.resume) {
+    return Status::InvalidArgument(
+        "wrap_oracle cannot be combined with durability.resume: journal "
+        "recovery re-drives the oracle to restore its random streams, and "
+        "a dispatch wrapper would observe those replayed attempts as if "
+        "they were new paid questions");
+  }
   if (!options.obs.trace_path.empty() &&
       options.obs.level != obs::ObsLevel::kFull) {
     return Status::InvalidArgument(
@@ -330,6 +337,11 @@ Result<EngineResult> RunSkylineQuery(const Dataset& dataset,
     }
   }
   oracle_span.End();
+  if (options.wrap_oracle) {
+    oracle = options.wrap_oracle(std::move(oracle));
+    CROWDSKY_CHECK_MSG(oracle != nullptr,
+                       "wrap_oracle must return the wrapped oracle");
+  }
   CrowdSession session(oracle.get());
   if (options.max_questions > 0) {
     session.SetQuestionBudget(options.max_questions);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,9 +114,22 @@ struct EngineOptions {
   std::vector<ImportedAnswer> imported_answers;
 
   /// Invoked after every closed crowd round with the total rounds closed so
-  /// far. Out-of-process progress reporting hook (shard heartbeats); must
-  /// not touch the session. Excluded from the fingerprint.
+  /// far. Out-of-process progress reporting hook (shard heartbeats) and the
+  /// multi-query service's round barrier; must not touch the session (it
+  /// may block). Excluded from the fingerprint.
   std::function<void(int64_t)> round_callback;
+
+  /// Dispatch seam for the multi-query service (src/service): when set,
+  /// the engine hands the oracle it just built to this hook and talks to
+  /// the returned wrapper instead. The wrapper must be *transparent* —
+  /// forward every call to the inner oracle unchanged, in order, and
+  /// mirror its stats — so the run stays bit-identical to an unwrapped
+  /// run; it may additionally observe each paid attempt (that is how the
+  /// service's HitPacker assigns cross-query HIT slots and routes answers
+  /// back to the asking query). Excluded from the fingerprint for the
+  /// same reason round_callback is: pure observation.
+  std::function<std::unique_ptr<CrowdOracle>(std::unique_ptr<CrowdOracle>)>
+      wrap_oracle;
 
   /// Fill EngineResult::exported_answers with every resolved pair answer in
   /// the session cache (canonical orientation, sorted). Off by default: the

@@ -20,16 +20,29 @@ struct AmtCostModel {
   int workers_per_question = 5;  ///< ω
   int questions_per_hit = 5;     ///< questions bundled into one HIT
 
+  /// HITs needed for one posting span of `questions` question-slots — one
+  /// crowd round of a single query, or one packed epoch-class span of the
+  /// multi-query service (src/service): ⌈questions / questions_per_hit⌉.
+  /// The packer and the service auditor both price spans through this one
+  /// helper, so their arithmetic cannot drift apart.
+  int64_t PackedHitCount(int64_t questions) const {
+    CROWDSKY_CHECK(questions_per_hit > 0);
+    CROWDSKY_CHECK(questions >= 0);
+    return (questions + questions_per_hit - 1) / questions_per_hit;
+  }
+
+  /// Σ ⌈|Qᵢ|/questions_per_hit⌉ over the given spans (spans cannot share
+  /// a HIT).
+  int64_t PackedHitCount(const std::vector<int64_t>& spans) const {
+    int64_t hits = 0;
+    for (const int64_t q : spans) hits += PackedHitCount(q);
+    return hits;
+  }
+
   /// Number of HITs needed for the given per-round question counts
   /// (rounds cannot share a HIT).
   int64_t Hits(const std::vector<int64_t>& questions_per_round) const {
-    CROWDSKY_CHECK(questions_per_hit > 0);
-    int64_t hits = 0;
-    for (const int64_t q : questions_per_round) {
-      CROWDSKY_CHECK(q >= 0);
-      hits += (q + questions_per_hit - 1) / questions_per_hit;
-    }
-    return hits;
+    return PackedHitCount(questions_per_round);
   }
 
   /// Total cost in USD (the paper's formula).

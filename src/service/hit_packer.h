@@ -1,0 +1,127 @@
+// HitPacker: the cross-query HIT assembly line of the multi-query service.
+//
+// The paper's cost formula (Section 6.2, cost = 0.02·ω·Σ⌈|Qᵢ|/5⌉) rounds
+// *each query's* partial HIT up separately: a round with 1 question
+// costs a whole HIT. When many queries run concurrently, their same-round
+// questions can share HITs — the batching-across-operations trick of
+// *Human-powered Sorts and Joins* — and the ceiling is paid once per
+// *epoch* (the service's global round) instead of once per query.
+//
+// Determinism contract: the packed ledger is a pure function of the
+// per-query round profiles and the admission schedule, never of thread
+// timing. Slots are registered per paid attempt as (query id, arrival
+// order within the query); at epoch close the packer aggregates them as
+// per-query counts inside each *pack class* (identical pricing: reward,
+// ω, questions_per_hit — questions with different pricing can never share
+// a HIT), iterated in (pack class, query id) order. The greedy fill is
+// keyed by (query id, per-query sequence), so any thread interleaving of
+// registrations produces the identical packing.
+//
+// The packer is not thread-safe by itself: the scheduler (service.cc)
+// serializes every call under its admission mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "crowd/cost_model.h"
+
+namespace crowdsky::service {
+
+/// Strict-weak order on pricing triples, used to group questions into
+/// pack classes. Two queries' questions may share a HIT iff their
+/// effective pricing (ω folded in) compares equal both ways.
+struct PackClassLess {
+  bool operator()(const AmtCostModel& a, const AmtCostModel& b) const {
+    if (a.reward_per_hit != b.reward_per_hit) {
+      return a.reward_per_hit < b.reward_per_hit;
+    }
+    if (a.workers_per_question != b.workers_per_question) {
+      return a.workers_per_question < b.workers_per_question;
+    }
+    return a.questions_per_hit < b.questions_per_hit;
+  }
+};
+
+/// One (epoch, pack class) posting span: every question the service
+/// dispatched in this epoch under this pricing, packed greedily into
+/// shared HITs. The per-query slot counts are kept (ascending query id)
+/// so the service auditor can re-derive both the packed and the isolated
+/// HIT count from the span alone.
+struct EpochClassSpan {
+  int64_t epoch = 0;
+  AmtCostModel pricing;
+  /// (query id, slots this query contributed), ascending query id.
+  std::vector<std::pair<int, int64_t>> query_slots;
+  int64_t slots = 0;        ///< Σ query_slots
+  int64_t packed_hits = 0;  ///< pricing.PackedHitCount(slots)
+  /// Σ_q pricing.PackedHitCount(slots_q) — what the same questions cost
+  /// as isolated per-query rounds; ≥ packed_hits by the ceiling inequality.
+  int64_t isolated_hits = 0;
+};
+
+/// \brief Packs paid questions from concurrent queries into shared HITs.
+class HitPacker {
+ public:
+  HitPacker() = default;
+  CROWDSKY_DISALLOW_COPY(HitPacker);
+
+  /// Registers one paid question slot (a pair attempt or a unary
+  /// question) for `query_id` in the open epoch, priced by the query's
+  /// effective cost model.
+  void RegisterSlot(int query_id, const AmtCostModel& pricing);
+
+  /// Records that the answer produced for a registered slot was returned
+  /// to `query_id` — the demultiplex half of the dispatch. The service
+  /// auditor proves routed == registered per query, so a misrouted answer
+  /// is a detectable accounting violation rather than silent corruption.
+  void RouteAnswer(int query_id);
+
+  /// Closes the open epoch: greedily fills HITs per pack class and
+  /// appends one EpochClassSpan per non-empty class. An epoch with no
+  /// registered slots closes without a trace (free barrier generations —
+  /// e.g. every remaining query finishing mid-epoch — cost nothing).
+  /// Returns the HITs packed in this epoch.
+  int64_t CloseEpoch();
+
+  /// True iff slots were registered since the last CloseEpoch().
+  bool open_epoch_nonempty() const { return !open_.empty(); }
+
+  // --- ledger ------------------------------------------------------------
+
+  /// Every closed (epoch, pack class) span, in close order.
+  const std::vector<EpochClassSpan>& spans() const { return spans_; }
+  /// Epochs that actually carried questions.
+  int64_t epochs() const { return epochs_; }
+  int64_t slots_total() const { return slots_total_; }
+  int64_t packed_hits() const { return packed_hits_; }
+  /// What the same spans would have cost as isolated per-query rounds.
+  int64_t isolated_hits() const { return isolated_hits_; }
+  /// Dollar figures, computed once per call from the integer HIT ledgers
+  /// (one multiply per span — no running dollar accumulation in the
+  /// packing hot path).
+  double packed_cost_usd() const;
+  double isolated_cost_usd() const;
+
+  /// Slots registered for one query across all epochs (0 if unknown id).
+  int64_t slots_for_query(int query_id) const;
+  /// Answers routed back to one query.
+  int64_t routed_for_query(int query_id) const;
+
+ private:
+  /// Open epoch: pack class -> query id -> slots. std::map keeps every
+  /// iteration deterministic regardless of registration interleaving.
+  std::map<AmtCostModel, std::map<int, int64_t>, PackClassLess> open_;
+  std::vector<EpochClassSpan> spans_;
+  std::map<int, int64_t> slots_per_query_;
+  std::map<int, int64_t> routed_per_query_;
+  int64_t epochs_ = 0;
+  int64_t slots_total_ = 0;
+  int64_t packed_hits_ = 0;
+  int64_t isolated_hits_ = 0;
+};
+
+}  // namespace crowdsky::service

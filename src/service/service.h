@@ -1,0 +1,35 @@
+// Multi-query crowd service: many concurrent skyline queries, one shared
+// crowd, cross-query HIT packing.
+//
+// RunService admits up to ServiceOptions::max_concurrent queries at once
+// (the rest wait in a bounded queue), runs each on a dedicated driver
+// thread through the ordinary engine, and intercepts every paid question
+// at the oracle boundary with a transparent dispatch wrapper. Between
+// crowd rounds the drivers meet at an *epoch barrier*: all questions the
+// active queries asked in the epoch are packed into shared HITs (per pack
+// class — identical effective pricing), and the service ledger records
+// what the sharing saved versus isolated per-query rounds.
+//
+// Determinism: per-query results are bit-identical to running the same
+// query alone — each query keeps its own oracle, random streams and
+// session, and the wrapper forwards synchronously on the query's own
+// thread — and the packing ledger itself is a pure function of the
+// submission list and ServiceOptions, independent of thread interleaving
+// (see DESIGN.md "Multi-query service & HIT packing" for the argument).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "service/options.h"
+
+namespace crowdsky::service {
+
+/// Runs every submitted query to completion (or rejection) and returns
+/// the per-query outcomes plus the service packing ledger. Fails on
+/// invalid service options or on a query that pre-configures the
+/// engine seams the service owns (wrap_oracle, durability).
+Result<ServiceReport> RunService(const std::vector<ServiceQuery>& queries,
+                                 const ServiceOptions& options = {});
+
+}  // namespace crowdsky::service

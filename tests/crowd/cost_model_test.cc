@@ -38,6 +38,47 @@ TEST(AmtCostModelTest, CustomParameters) {
   EXPECT_DOUBLE_EQ(model.Cost({5}), 0.1 * 3 * 3);
 }
 
+TEST(AmtCostModelTest, PackedHitCountBoundarySizes) {
+  // The packer/auditor shared arithmetic at the ⌈q/5⌉ boundaries. ω scales
+  // dollars, never HIT counts — the same span sizes must pack identically
+  // for every worker multiplicity.
+  for (const int omega : {1, 3, 5}) {
+    AmtCostModel model;
+    model.workers_per_question = omega;
+    EXPECT_EQ(model.PackedHitCount(0), 0) << "omega=" << omega;
+    EXPECT_EQ(model.PackedHitCount(1), 1) << "omega=" << omega;
+    EXPECT_EQ(model.PackedHitCount(5), 1) << "omega=" << omega;
+    EXPECT_EQ(model.PackedHitCount(6), 2) << "omega=" << omega;
+    // Dollars do scale with ω: one HIT costs reward * ω.
+    EXPECT_DOUBLE_EQ(model.Cost({1}), 0.02 * omega);
+  }
+}
+
+TEST(AmtCostModelTest, PackedHitCountHonorsQuestionsPerHit) {
+  AmtCostModel model;
+  model.questions_per_hit = 3;
+  EXPECT_EQ(model.PackedHitCount(0), 0);
+  EXPECT_EQ(model.PackedHitCount(1), 1);
+  EXPECT_EQ(model.PackedHitCount(3), 1);
+  EXPECT_EQ(model.PackedHitCount(4), 2);
+  model.questions_per_hit = 1;
+  EXPECT_EQ(model.PackedHitCount(7), 7);
+}
+
+TEST(AmtCostModelTest, PackedHitCountSpansMatchesHits) {
+  // The spans overload is the Σ⌈·⌉ the per-round Hits() always computed:
+  // the packer and the cost model cannot drift because they are the same
+  // function.
+  AmtCostModel model;
+  const std::vector<int64_t> spans = {0, 1, 5, 6, 12, 3};
+  EXPECT_EQ(model.PackedHitCount(spans), model.Hits(spans));
+  EXPECT_EQ(model.PackedHitCount(spans), 0 + 1 + 1 + 2 + 3 + 1);
+  // Packing the same questions into one span only ever helps.
+  int64_t total = 0;
+  for (const int64_t q : spans) total += q;
+  EXPECT_LE(model.PackedHitCount(total), model.PackedHitCount(spans));
+}
+
 TEST(AmtCostModelTest, BaselineVsCrowdSkyShape) {
   // Sanity-check the Figure 12(a) arithmetic: ~245 questions in one-shot
   // batches vs ~50 for CrowdSky gives roughly a 5x saving.

@@ -1,0 +1,130 @@
+// Shared helpers for the multi-query service test suites: field-by-field
+// bit-identity comparison of engine results (several report structs have
+// no operator==) and the standard query mix the suites submit.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/crowdsky.h"
+#include "service/service.h"
+
+namespace crowdsky::service::testing {
+
+inline std::vector<std::tuple<int, int, int, Answer>> AnswerTuples(
+    const std::vector<ImportedAnswer>& answers) {
+  std::vector<std::tuple<int, int, int, Answer>> tuples;
+  tuples.reserve(answers.size());
+  for (const ImportedAnswer& a : answers) {
+    tuples.emplace_back(a.attr, a.u, a.v, a.answer);
+  }
+  return tuples;
+}
+
+/// Asserts `got` is bit-identical to `want`, down to the vote transcript
+/// (exported_answers) and the termination report. `tag` prefixes every
+/// failure message.
+inline void ExpectSameEngineResult(const EngineResult& want,
+                                   const EngineResult& got,
+                                   const std::string& tag) {
+  SCOPED_TRACE(tag);
+  const AlgoResult& w = want.algo;
+  const AlgoResult& g = got.algo;
+  EXPECT_EQ(g.skyline, w.skyline);
+  EXPECT_EQ(g.incomplete_tuples, w.incomplete_tuples);
+  EXPECT_EQ(g.seeded_relations, w.seeded_relations);
+  EXPECT_EQ(g.questions, w.questions);
+  EXPECT_EQ(g.rounds, w.rounds);
+  EXPECT_EQ(g.free_lookups, w.free_lookups);
+  EXPECT_EQ(g.worker_answers, w.worker_answers);
+  EXPECT_EQ(g.contradictions, w.contradictions);
+  EXPECT_EQ(g.questions_per_round, w.questions_per_round);
+  EXPECT_EQ(g.retries, w.retries);
+  EXPECT_EQ(g.degraded_quorum, w.degraded_quorum);
+  EXPECT_EQ(g.failed_attempts, w.failed_attempts);
+  EXPECT_EQ(g.backoff_rounds, w.backoff_rounds);
+
+  EXPECT_EQ(g.completeness.complete, w.completeness.complete);
+  EXPECT_EQ(g.completeness.determined_tuples, w.completeness.determined_tuples);
+  EXPECT_EQ(g.completeness.undetermined_tuples,
+            w.completeness.undetermined_tuples);
+  EXPECT_EQ(g.completeness.resolved_questions,
+            w.completeness.resolved_questions);
+  EXPECT_EQ(g.completeness.unresolved_questions,
+            w.completeness.unresolved_questions);
+  EXPECT_EQ(g.completeness.budget_exhausted, w.completeness.budget_exhausted);
+  EXPECT_EQ(g.completeness.retries_exhausted, w.completeness.retries_exhausted);
+
+  EXPECT_EQ(g.termination.governed, w.termination.governed);
+  EXPECT_EQ(g.termination.reason, w.termination.reason);
+  EXPECT_EQ(g.termination.rounds, w.termination.rounds);
+  EXPECT_DOUBLE_EQ(g.termination.cost_spent_usd, w.termination.cost_spent_usd);
+  EXPECT_EQ(g.termination.denied_questions, w.termination.denied_questions);
+  EXPECT_EQ(g.termination.unresolved, w.termination.unresolved);
+
+  EXPECT_EQ(got.skyline_labels, want.skyline_labels);
+  EXPECT_DOUBLE_EQ(got.accuracy.precision, want.accuracy.precision);
+  EXPECT_DOUBLE_EQ(got.accuracy.recall, want.accuracy.recall);
+  EXPECT_DOUBLE_EQ(got.accuracy.f1, want.accuracy.f1);
+  EXPECT_EQ(got.accuracy.truth_new, want.accuracy.truth_new);
+  EXPECT_EQ(got.accuracy.retrieved_new, want.accuracy.retrieved_new);
+  EXPECT_EQ(got.accuracy.correct_new, want.accuracy.correct_new);
+  EXPECT_DOUBLE_EQ(got.cost_usd, want.cost_usd);
+  EXPECT_EQ(AnswerTuples(got.exported_answers),
+            AnswerTuples(want.exported_answers));
+}
+
+/// Applies the fault-plan cell trick from the differential sweep:
+/// perfectly accurate workers on a faulty platform, so retry/degradation
+/// paths run while resolved answers stay exact.
+inline void AddFaultPlan(EngineOptions* options) {
+  options->oracle = OracleKind::kMarketplace;
+  options->marketplace.pool_size = 40;
+  options->marketplace.population.p_correct = 1.0;
+  options->marketplace.faults.transient_error_rate = 0.10;
+  options->marketplace.faults.hit_expiration_rate = 0.05;
+  options->marketplace.faults.worker_no_show_rate = 0.10;
+  options->marketplace.faults.straggler_rate = 0.05;
+  options->retry.max_retries = 4;
+}
+
+/// The standard mixed submission every suite uses: `n` queries cycling
+/// through drivers, distributions, schema widths and seeds. Datasets are
+/// appended to `datasets` (stable storage the ServiceQuery pointers
+/// reference — reserve enough or never reallocate past `n`).
+inline std::vector<ServiceQuery> MixedQueries(int n,
+                                              std::vector<Dataset>* datasets) {
+  static constexpr Algorithm kDrivers[] = {Algorithm::kCrowdSkySerial,
+                                           Algorithm::kParallelDSet,
+                                           Algorithm::kParallelSL};
+  static constexpr DataDistribution kDists[] = {
+      DataDistribution::kIndependent, DataDistribution::kAntiCorrelated,
+      DataDistribution::kCorrelated};
+  datasets->reserve(datasets->size() + static_cast<size_t>(n));
+  std::vector<ServiceQuery> queries;
+  for (int i = 0; i < n; ++i) {
+    GeneratorOptions gen;
+    gen.cardinality = 18 + 5 * i;
+    gen.num_known = 2;
+    gen.num_crowd = 1 + i % 2;
+    gen.distribution = kDists[i % 3];
+    gen.seed = uint64_t{0xabcd} + static_cast<uint64_t>(i) * 977;
+    datasets->push_back(GenerateDataset(gen).ValueOrDie());
+
+    ServiceQuery query;
+    query.dataset = &datasets->back();
+    query.options.algorithm = kDrivers[i % 3];
+    query.options.oracle = OracleKind::kPerfect;
+    query.options.seed = gen.seed ^ 0x5eedULL;
+    query.options.export_answers = true;
+    if (i % 3 == 1) AddFaultPlan(&query.options);
+    query.label = "mixed" + std::to_string(i);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+}  // namespace crowdsky::service::testing
